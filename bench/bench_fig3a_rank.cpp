@@ -1,0 +1,32 @@
+// Figure 3a: IPv6 reachability by Alexa-style rank bucket (the higher a
+// site ranks, the likelier it is IPv6-accessible).
+
+#include "common.h"
+
+namespace {
+
+using namespace v6mon;
+
+void emit() {
+  const auto& s = bench::Study::instance();
+  const auto buckets = analysis::fig3a_buckets(s.world.catalog, s.world.num_rounds);
+  bench::print_result(
+      "Figure 3a - IPv6 reachability by site rank (end of campaign)",
+      analysis::fig3a_table(buckets),
+      "  Top 10 ~10-11%, Top 100 ~6%, Top 1k ~4%, Top 10k ~2.5%,\n"
+      "  Top 100k ~1.5%, Top 1M ~1.1% (12-month window from Penn).",
+      "fig3a_rank.csv");
+}
+
+void BM_Fig3aBuckets(benchmark::State& state) {
+  const auto& s = bench::Study::instance();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        analysis::fig3a_buckets(s.world.catalog, s.world.num_rounds));
+  }
+}
+BENCHMARK(BM_Fig3aBuckets);
+
+}  // namespace
+
+V6MON_BENCH_MAIN(emit)

@@ -1,0 +1,36 @@
+// Table 11: DP destination-AS evaluation — the core H2 evidence. When
+// the IPv6 AS path differs from IPv4's, comparable performance collapses
+// to a small fraction of destination ASes.
+
+#include "common.h"
+
+namespace {
+
+using namespace v6mon;
+
+void emit() {
+  const auto& s = bench::Study::instance();
+  const auto cols = analysis::table11_dp(s.reports);
+  bench::print_result(
+      "Table 11 - IPv6 vs IPv4 for DP destination ASes (H2)",
+      analysis::table11_render(cols),
+      "               Penn  Comcast   LU   UPCB\n"
+      "  IPv6~=IPv4    3%     11%    10%    8%\n"
+      "  Zero mode    12%      5%     3%    6%\n"
+      "  # ASes       587     266    341   422\n"
+      "  Shape: similar+zero-mode far below Table 8's SP numbers — routing\n"
+      "  differences are the dominant cause of poorer IPv6 performance.",
+      "table11_dp.csv");
+}
+
+void BM_Table11(benchmark::State& state) {
+  const auto& s = bench::Study::instance();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::table11_dp(s.reports));
+  }
+}
+BENCHMARK(BM_Table11);
+
+}  // namespace
+
+V6MON_BENCH_MAIN(emit)

@@ -1,0 +1,43 @@
+// Table 12: World IPv6 Day — DP destination ASes among participants.
+// Participants fare better than the general DP population (their servers
+// were v6-qualified) but still clearly below the SP numbers: routing,
+// not servers, is what remains.
+
+#include "common.h"
+
+namespace {
+
+using namespace v6mon;
+
+std::vector<analysis::Table11Col> w6d_dp_without_comcast() {
+  std::vector<analysis::VpReport> reports;
+  for (const auto& r : bench::Study::instance().w6d_reports) {
+    if (r.name != "Comcast") reports.push_back(r);
+  }
+  return analysis::table11_dp(reports);
+}
+
+void emit() {
+  const auto cols = w6d_dp_without_comcast();
+  bench::print_result(
+      "Table 12 - World IPv6 Day: IPv6 vs IPv4 for DP ASes (participants)",
+      analysis::table12_render(cols),
+      "               Penn    LU    UPCB\n"
+      "  IPv6~=IPv4  53.5%  48.9%  51.0%\n"
+      "  # ASes        114     92    102\n"
+      "  Shape: participants do much better than Table 11's general DP\n"
+      "  population, yet clearly worse than the SP ASes of Table 10 — and\n"
+      "  there are notably more DP than SP ASes during the event.",
+      "table12_w6d_dp.csv");
+}
+
+void BM_Table12(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(w6d_dp_without_comcast());
+  }
+}
+BENCHMARK(BM_Table12);
+
+}  // namespace
+
+V6MON_BENCH_MAIN(emit)

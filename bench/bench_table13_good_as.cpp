@@ -1,0 +1,40 @@
+// Table 13: "good AS" coverage of DP IPv6 paths. Good ASes are those on
+// IPv6 paths to SP destinations with comparable performance (from any
+// vantage point) — demonstrably healthy IPv6 data planes. Most DP paths
+// are mostly-good but very few are entirely good, so the poorer DP
+// performance cannot be pinned on the transit data plane.
+
+#include "common.h"
+
+namespace {
+
+using namespace v6mon;
+
+void emit() {
+  const auto& s = bench::Study::instance();
+  const auto cols = analysis::table13_good_as(s.reports);
+  bench::print_result(
+      "Table 13 - Known-good AS coverage of DP IPv6 paths",
+      analysis::table13_render(cols),
+      "                Penn  Comcast   LU    UPCB\n"
+      "  100%          3.2%   11.1%   6.4%  17.2%\n"
+      "  [75%, 100%)  20.8%    8.3%   0.9%  22.4%\n"
+      "  [50%, 75%)   58.8%   45.8%  68.8%  52.6%\n"
+      "  [25%, 50%)   15.8%   27.8%  19.3%   7.8%\n"
+      "  [0%, 25%)     1.4%    6.9%   4.6%   0.0%\n"
+      "  Shape: the [50,75) band dominates; the fully-good bucket is small\n"
+      "  (the destination itself is rarely exonerated).",
+      "table13_good_as.csv");
+}
+
+void BM_Table13(benchmark::State& state) {
+  const auto& s = bench::Study::instance();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::table13_good_as(s.reports));
+  }
+}
+BENCHMARK(BM_Table13);
+
+}  // namespace
+
+V6MON_BENCH_MAIN(emit)

@@ -1,0 +1,49 @@
+// Table 3: causes of confidence-target failures — insufficient samples,
+// sharp up/down transitions (median filter), steady up/down trends
+// (linear regression), and how many transitions coincide with AS-path
+// changes.
+
+#include "common.h"
+
+namespace {
+
+using namespace v6mon;
+
+void emit() {
+  const auto& s = bench::Study::instance();
+  const auto rows = analysis::table3_sanitization(s.reports);
+  bench::print_result(
+      "Table 3 - Causes of confidence-target failures",
+      analysis::table3_render(rows),
+      "            Insufficient  up   down  trend-up trend-down\n"
+      "  Penn          2807      180   103    732      569\n"
+      "  Comcast        251       83    52    530      127\n"
+      "  LU             258       49    63    419      374\n"
+      "  UPCB          1146      233   214   1033      799\n"
+      "  Of the transitions, a minority coincide with path changes (e.g.\n"
+      "  64/283 at Penn, 64/135 at Comcast, 43/112 at LU, 169/447 at UPCB).",
+      "table3_sanitization.csv");
+}
+
+void BM_Table3(benchmark::State& state) {
+  const auto& s = bench::Study::instance();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::table3_sanitization(s.reports));
+  }
+}
+BENCHMARK(BM_Table3);
+
+// The sanitization itself (assessment pass) is the heavy step; benchmark
+// it on the largest vantage point.
+void BM_AssessSites(benchmark::State& state) {
+  const auto& s = bench::Study::instance();
+  const auto& db = *s.reports.front().db;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::assess_sites(db, {}));
+  }
+}
+BENCHMARK(BM_AssessSites);
+
+}  // namespace
+
+V6MON_BENCH_MAIN(emit)

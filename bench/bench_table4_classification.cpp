@@ -1,0 +1,42 @@
+// Table 4: kept-site classification into DL / SP / DP per vantage point.
+
+#include "common.h"
+
+namespace {
+
+using namespace v6mon;
+
+void emit() {
+  const auto& s = bench::Study::instance();
+  const auto rows = analysis::table4_classification(s.reports);
+  bench::print_result(
+      "Table 4 - Site classification (DL / SP / DP)",
+      analysis::table4_render(rows),
+      "              Penn  Comcast   LU   UPCB\n"
+      "  # DL sites   784     450    352   485\n"
+      "  # SP sites   424    1113   2291  2597\n"
+      "  # DP sites  6786    1962   1263  1336\n"
+      "  Shape: Penn overwhelmingly DP (separate early-IPv6 upstream);\n"
+      "  Comcast mixed; LU/UPCB majority SP (first-hop parity).",
+      "table4_classification.csv");
+}
+
+void BM_Table4(benchmark::State& state) {
+  const auto& s = bench::Study::instance();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::table4_classification(s.reports));
+  }
+}
+BENCHMARK(BM_Table4);
+
+void BM_ClassifySites(benchmark::State& state) {
+  const auto& s = bench::Study::instance();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::classify_sites(s.reports.front().kept));
+  }
+}
+BENCHMARK(BM_ClassifySites);
+
+}  // namespace
+
+V6MON_BENCH_MAIN(emit)

@@ -1,0 +1,39 @@
+// Table 5: classification of removed (transition/trend) sites into
+// SP/DP/DL x good/bad IPv6 performance — the paper's check that
+// sanitization does not bias H1/H2.
+
+#include "common.h"
+
+namespace {
+
+using namespace v6mon;
+
+void emit() {
+  const auto& s = bench::Study::instance();
+  const auto rows = analysis::table5_removed_bias(s.reports);
+  bench::print_result(
+      "Table 5 - Removed sites by class and IPv6 performance",
+      analysis::table5_render(rows),
+      "                 Penn  Comcast  LU  UPCB\n"
+      "  SP good perf.   64     185   462  1242\n"
+      "  SP bad perf.     8      64    42   163\n"
+      "  DP good perf.  404     346   206   463\n"
+      "  DP bad perf.   880      93   106   216\n"
+      "  DL good perf.  111      54    65   103\n"
+      "  DL bad perf.   117      50    24    92\n"
+      "  Shape: more good SP sites removed than bad (bias *against* H1);\n"
+      "  DL removals roughly balanced.",
+      "table5_removed_bias.csv");
+}
+
+void BM_Table5(benchmark::State& state) {
+  const auto& s = bench::Study::instance();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::table5_removed_bias(s.reports));
+  }
+}
+BENCHMARK(BM_Table5);
+
+}  // namespace
+
+V6MON_BENCH_MAIN(emit)

@@ -1,0 +1,40 @@
+// Table 9: SP destination ASes — performance by hop count. H1 at finer
+// granularity: when the paths coincide, IPv6 and IPv4 speeds match at
+// *every* hop count.
+
+#include "common.h"
+
+namespace {
+
+using namespace v6mon;
+
+void emit() {
+  const auto& s = bench::Study::instance();
+  const auto rows = analysis::table9_hopcount_sp(s.reports);
+  bench::print_result(
+      "Table 9 - SP sites: performance (kbytes/sec) by AS hop count",
+      analysis::hopcount_render(rows),
+      "  Penn v4:    - / -    / 36.0 (23)  / 29.5 (203) / 29.1 (169)\n"
+      "  Penn v6:    - / -    / 34.4 (23)  / 27.6 (203) / 29.5 (169)\n"
+      "  Comcast v4: 64.2(137)/ 41.6 (632) / 36.0 (304) / 36.8 (10)\n"
+      "  Comcast v6: 59.9(137)/ 42.1 (632) / 35.4 (304) / 34.0 (10)\n"
+      "  LU v4:      60.3(229)/ 62.5 (1829)/ 42.7 (115) / 21.3 (16)\n"
+      "  LU v6:      57.3(229)/ 62.2 (1829)/ 39.2 (115) / 19.4 (16)\n"
+      "  UPCB v4:     -       / 43.7 (168) / 62.8 (2202)/ 50.3 (38)\n"
+      "  UPCB v6:     -       / 41.4 (168) / 64.7 (2202)/ 47.6 (38)\n"
+      "  Shape: identical site counts per bucket (one shared path) and\n"
+      "  near-equal speeds per bucket for both families.",
+      "table9_hopcount_sp.csv");
+}
+
+void BM_Table9(benchmark::State& state) {
+  const auto& s = bench::Study::instance();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::table9_hopcount_sp(s.reports));
+  }
+}
+BENCHMARK(BM_Table9);
+
+}  // namespace
+
+V6MON_BENCH_MAIN(emit)

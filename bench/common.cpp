@@ -1,0 +1,79 @@
+#include "common.h"
+
+#include <cstdlib>
+
+namespace v6mon::bench {
+
+namespace {
+
+double env_double(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::strtod(v, nullptr) : fallback;
+}
+
+std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::strtoull(v, nullptr, 10) : fallback;
+}
+
+}  // namespace
+
+const Study& Study::instance() {
+  static const Study study = [] {
+    Study s;
+    s.seed = env_u64("V6MON_BENCH_SEED", 2011);
+    s.scale = env_double("V6MON_BENCH_SCALE", 1.0);
+    std::fprintf(stderr, "[bench] building world (seed=%llu scale=%.2f)...\n",
+                 static_cast<unsigned long long>(s.seed), s.scale);
+    s.world = scenario::build_paper_world(s.seed, s.scale);
+    std::fprintf(stderr, "[bench] %s\n", s.world.graph.summary().c_str());
+    std::fprintf(stderr, "[bench] running campaign (%u rounds, %zu VPs)...\n",
+                 s.world.num_rounds, s.world.vantage_points.size());
+    s.campaign =
+        std::make_unique<core::Campaign>(s.world, scenario::paper_campaign_config(s.seed));
+    s.campaign->run();
+    s.campaign->run_w6d();
+    s.campaign->finalize();
+    std::vector<const core::ResultsDb*> dbs, w6d;
+    for (std::size_t i = 0; i < s.world.vantage_points.size(); ++i) {
+      dbs.push_back(&s.campaign->results(i));
+      w6d.push_back(&s.campaign->w6d_results(i));
+    }
+    s.reports = analysis::analyze_world(s.world, dbs);
+    s.w6d_reports = analysis::analyze_world(s.world, w6d);
+    std::fprintf(stderr, "[bench] analysis ready (%zu vantage points)\n",
+                 s.reports.size());
+    return s;
+  }();
+  return study;
+}
+
+void print_result(const std::string& title, const util::TextTable& table,
+                  const std::string& paper_reference, const std::string& csv_name) {
+  std::printf("================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("================================================================\n");
+  std::printf("%s", table.render().c_str());
+  if (!paper_reference.empty()) {
+    std::printf("\nPaper reference (CoNEXT'11 published values):\n%s\n",
+                paper_reference.c_str());
+  }
+  if (!csv_name.empty()) {
+    const std::string path = "bench/out/" + csv_name;
+    if (util::write_file(path, table.to_csv())) {
+      std::printf("[csv written to %s]\n", path.c_str());
+    }
+  }
+  std::printf("\n");
+}
+
+int run_bench_main(int argc, char** argv, void (*emit)()) {
+  emit();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace v6mon::bench

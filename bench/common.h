@@ -1,0 +1,49 @@
+#pragma once
+
+// Shared study fixture for the bench harness: builds the paper-scale
+// world once per binary, runs the measurement campaign, analyzes all
+// AS_PATH vantage points, and offers printing/CSV helpers.
+//
+// Environment knobs:
+//   V6MON_BENCH_SEED   world/campaign seed (default 2011)
+//   V6MON_BENCH_SCALE  world scale factor (default 1.0)
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/tables.h"
+#include "core/campaign.h"
+#include "scenario/paper.h"
+#include "util/table.h"
+
+namespace v6mon::bench {
+
+struct Study {
+  std::uint64_t seed = 2011;
+  double scale = 1.0;
+  core::World world;
+  std::unique_ptr<core::Campaign> campaign;
+  std::vector<analysis::VpReport> reports;      ///< Regular campaign.
+  std::vector<analysis::VpReport> w6d_reports;  ///< World IPv6 Day event.
+
+  static const Study& instance();
+};
+
+/// Print a reproduced table plus the paper's published reference, and
+/// write the table's CSV to bench/out/<csv_name>.
+void print_result(const std::string& title, const util::TextTable& table,
+                  const std::string& paper_reference, const std::string& csv_name);
+
+/// Standard main body: print results via `emit`, then run benchmarks.
+int run_bench_main(int argc, char** argv, void (*emit)());
+
+}  // namespace v6mon::bench
+
+#define V6MON_BENCH_MAIN(emit_fn)                             \
+  int main(int argc, char** argv) {                           \
+    return ::v6mon::bench::run_bench_main(argc, argv, emit_fn); \
+  }

@@ -1,0 +1,151 @@
+#include "analysis/as_level.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/stats.h"
+
+namespace v6mon::analysis {
+
+std::vector<AsPerf> evaluate_dest_ases(const std::vector<ClassifiedSite>& sites,
+                                       Category category,
+                                       const AsLevelParams& params) {
+  std::map<topo::Asn, std::vector<const ClassifiedSite*>> by_as;
+  for (const ClassifiedSite& s : sites) {
+    if (s.category == category) by_as[s.dest_as].push_back(&s);
+  }
+
+  std::vector<AsPerf> out;
+  out.reserve(by_as.size());
+  for (const auto& [asn, members] : by_as) {
+    AsPerf perf;
+    perf.as = asn;
+    perf.sites = members.size();
+    double v4 = 0.0, v6 = 0.0;
+    for (const ClassifiedSite* s : members) {
+      v4 += s->assessment.v4_speed;
+      v6 += s->assessment.v6_speed;
+      // Site-level comparability: the zero-mode membership test.
+      const bool within_band =
+          s->assessment.v4_speed > 0.0 &&
+          std::fabs(s->assessment.v6_speed - s->assessment.v4_speed) <=
+              params.tolerance * s->assessment.v4_speed;
+      if (within_band || (!params.symmetric &&
+                          s->assessment.v6_speed >= s->assessment.v4_speed)) {
+        perf.comparable_sites.push_back(s->assessment.site);
+      }
+    }
+    perf.v4_mean = v4 / static_cast<double>(members.size());
+    perf.v6_mean = v6 / static_cast<double>(members.size());
+
+    const bool as_similar =
+        params.symmetric
+            ? std::fabs(perf.v6_mean - perf.v4_mean) <= params.tolerance * perf.v4_mean
+            : util::comparable_or_better(perf.v6_mean, perf.v4_mean, params.tolerance);
+    if (as_similar) {
+      perf.category = AsCategory::kSimilar;
+    } else if (!perf.comparable_sites.empty()) {
+      perf.category = AsCategory::kZeroMode;
+    } else if (perf.sites < params.small_n) {
+      perf.category = AsCategory::kSmallN;
+    } else {
+      perf.category = AsCategory::kOther;
+    }
+    out.push_back(std::move(perf));
+  }
+  return out;
+}
+
+AsCategoryShares summarize(const std::vector<AsPerf>& ases) {
+  AsCategoryShares s;
+  s.total = ases.size();
+  for (const AsPerf& a : ases) {
+    switch (a.category) {
+      case AsCategory::kSimilar: ++s.similar; break;
+      case AsCategory::kZeroMode: ++s.zero_mode; break;
+      case AsCategory::kSmallN: ++s.small_n; break;
+      case AsCategory::kOther: ++s.other; break;
+    }
+  }
+  return s;
+}
+
+std::vector<CrossCheckResult> cross_check(const std::vector<std::vector<AsPerf>>& per_vp) {
+  // Index AS -> categories per VP.
+  std::map<topo::Asn, std::vector<std::pair<std::size_t, AsCategory>>> seen;
+  for (std::size_t vp = 0; vp < per_vp.size(); ++vp) {
+    for (const AsPerf& a : per_vp[vp]) {
+      seen[a.as].emplace_back(vp, a.category);
+    }
+  }
+  std::vector<CrossCheckResult> out(per_vp.size());
+  for (const auto& [asn, entries] : seen) {
+    if (entries.size() < 2) continue;  // no cross-check possible
+    bool agree = true;
+    for (std::size_t i = 1; i < entries.size(); ++i) {
+      if (entries[i].second != entries[0].second) agree = false;
+    }
+    for (const auto& [vp, cat] : entries) {
+      if (agree) ++out[vp].positive;
+      else ++out[vp].negative;
+    }
+  }
+  return out;
+}
+
+std::set<topo::Asn> good_as_set(
+    const std::vector<std::vector<AsPerf>>& sp_per_vp,
+    const std::vector<std::vector<ClassifiedSite>>& sp_sites_per_vp,
+    const std::vector<const core::PathRegistry*>& registries) {
+  // Destination ASes judged similar, per VP.
+  std::set<topo::Asn> good;
+  for (std::size_t vp = 0; vp < sp_per_vp.size(); ++vp) {
+    std::set<topo::Asn> similar_dests;
+    for (const AsPerf& a : sp_per_vp[vp]) {
+      if (a.category == AsCategory::kSimilar) similar_dests.insert(a.as);
+    }
+    // Every AS on a v6 path to a similar destination is "good".
+    for (const ClassifiedSite& s : sp_sites_per_vp[vp]) {
+      if (s.category != Category::kSp) continue;
+      if (similar_dests.count(s.dest_as) == 0) continue;
+      if (s.assessment.v6_path == core::kNoPath) continue;
+      for (topo::Asn hop : registries[vp]->path(s.assessment.v6_path)) {
+        good.insert(hop);
+      }
+    }
+  }
+  return good;
+}
+
+GoodAsCoverage good_as_coverage(const std::vector<ClassifiedSite>& dp_sites,
+                                const std::set<topo::Asn>& good,
+                                const core::PathRegistry& registry) {
+  GoodAsCoverage cov;
+  std::set<core::PathId> seen_paths;  // one sample per distinct DP v6 path
+  for (const ClassifiedSite& s : dp_sites) {
+    if (s.category != Category::kDp) continue;
+    if (s.assessment.v6_path == core::kNoPath) continue;
+    if (!seen_paths.insert(s.assessment.v6_path).second) continue;
+    const auto& path = registry.path(s.assessment.v6_path);
+    // Every AS on the path counts, including the destination: a DP
+    // destination is itself "good" only when some other vantage point saw
+    // it in SP with comparable performance — which is why the paper's
+    // 100% bucket is so small.
+    if (path.empty()) continue;
+    std::size_t good_count = 0;
+    for (topo::Asn hop : path) {
+      if (good.count(hop)) ++good_count;
+    }
+    const double frac =
+        static_cast<double>(good_count) / static_cast<double>(path.size());
+    ++cov.paths;
+    if (frac >= 1.0) ++cov.buckets[0];
+    else if (frac >= 0.75) ++cov.buckets[1];
+    else if (frac >= 0.50) ++cov.buckets[2];
+    else if (frac >= 0.25) ++cov.buckets[3];
+    else ++cov.buckets[4];
+  }
+  return cov;
+}
+
+}  // namespace v6mon::analysis

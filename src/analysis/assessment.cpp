@@ -1,0 +1,143 @@
+#include "analysis/assessment.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/stats.h"
+#include "util/timeseries.h"
+
+namespace v6mon::analysis {
+
+namespace {
+
+/// Most frequent value in a list (first-seen wins ties).
+template <typename T>
+T modal(const std::vector<T>& xs, T none) {
+  if (xs.empty()) return none;
+  std::unordered_map<T, std::size_t> counts;
+  T best = xs.front();
+  std::size_t best_n = 0;
+  for (const T& x : xs) {
+    const std::size_t n = ++counts[x];
+    if (n > best_n) {
+      best_n = n;
+      best = x;
+    }
+  }
+  return best;
+}
+
+/// Does the modal path before the change index differ from the modal path
+/// after it (in either family)?
+bool path_changed_around(const std::vector<core::PathId>& paths, std::size_t at) {
+  if (at == 0 || at >= paths.size()) return false;
+  std::vector<core::PathId> before(paths.begin(),
+                                   paths.begin() + static_cast<std::ptrdiff_t>(at));
+  std::vector<core::PathId> after(paths.begin() + static_cast<std::ptrdiff_t>(at),
+                                  paths.end());
+  return modal(before, core::kNoPath) != modal(after, core::kNoPath);
+}
+
+}  // namespace
+
+std::vector<SiteAssessment> assess_sites(const core::ResultsDb& db,
+                                         const AssessmentParams& params) {
+  std::vector<SiteAssessment> out;
+  out.reserve(db.all_series().size());
+
+  for (const auto& [site_id, series] : db.all_series()) {
+    SiteAssessment a;
+    a.site = site_id;
+
+    // Collect measured rounds.
+    std::vector<double> v4_speeds, v6_speeds;
+    std::vector<core::PathId> v4_paths, v6_paths;
+    std::vector<topo::Asn> v4_origins, v6_origins;
+    for (const core::Observation& o : series) {
+      if (o.status != core::MonitorStatus::kMeasured) continue;
+      v4_speeds.push_back(o.v4_speed_kBps);
+      v6_speeds.push_back(o.v6_speed_kBps);
+      v4_paths.push_back(o.v4_path);
+      v6_paths.push_back(o.v6_path);
+      v4_origins.push_back(o.v4_origin);
+      v6_origins.push_back(o.v6_origin);
+    }
+    a.rounds_measured = v4_speeds.size();
+    if (a.rounds_measured > 0) {
+      util::RunningStats v4, v6;
+      for (double s : v4_speeds) v4.add(s);
+      for (double s : v6_speeds) v6.add(s);
+      a.v4_speed = v4.mean();
+      a.v6_speed = v6.mean();
+      a.v4_path = modal(v4_paths, core::kNoPath);
+      a.v6_path = modal(v6_paths, core::kNoPath);
+      a.v4_origin = modal(v4_origins, topo::kNoAs);
+      a.v6_origin = modal(v6_origins, topo::kNoAs);
+    }
+
+    if (a.rounds_measured < params.min_rounds) {
+      a.outcome = SiteOutcome::kInsufficientSamples;
+      out.push_back(a);
+      continue;
+    }
+
+    // Sharp transitions (check both families; report the stronger signal).
+    const auto step_v4 =
+        util::detect_step(v4_speeds, params.step_window, params.step_threshold);
+    const auto step_v6 =
+        util::detect_step(v6_speeds, params.step_window, params.step_threshold);
+    const util::StepTransition* step = nullptr;
+    const std::vector<core::PathId>* step_paths = nullptr;
+    if (step_v4.direction != util::StepDirection::kNone) {
+      step = &step_v4;
+      step_paths = &v4_paths;
+    }
+    if (step_v6.direction != util::StepDirection::kNone &&
+        (step == nullptr ||
+         std::abs(step_v6.magnitude - 1.0) > std::abs(step->magnitude - 1.0))) {
+      step = &step_v6;
+      step_paths = &v6_paths;
+    }
+    if (step != nullptr) {
+      a.outcome = step->direction == util::StepDirection::kUp ? SiteOutcome::kStepUp
+                                                              : SiteOutcome::kStepDown;
+      a.path_changed_at_step = path_changed_around(*step_paths, step->change_index) ||
+                               path_changed_around(step_paths == &v4_paths ? v6_paths
+                                                                           : v4_paths,
+                                                   step->change_index);
+      out.push_back(a);
+      continue;
+    }
+
+    // Steady trends.
+    const auto trend_v4 = util::detect_trend(v4_speeds, params.trend_min_drift);
+    const auto trend_v6 = util::detect_trend(v6_speeds, params.trend_min_drift);
+    const auto trend = trend_v4 != util::Trend::kNone ? trend_v4 : trend_v6;
+    if (trend != util::Trend::kNone) {
+      a.outcome =
+          trend == util::Trend::kUp ? SiteOutcome::kTrendUp : SiteOutcome::kTrendDown;
+      out.push_back(a);
+      continue;
+    }
+
+    // Overall confidence target on both families' across-round means.
+    util::RunningStats v4, v6;
+    for (double s : v4_speeds) v4.add(s);
+    for (double s : v6_speeds) v6.add(s);
+    if (!v4.meets_relative_ci(params.ci_rel, params.confidence) ||
+        !v6.meets_relative_ci(params.ci_rel, params.confidence)) {
+      a.outcome = SiteOutcome::kInsufficientSamples;
+      out.push_back(a);
+      continue;
+    }
+
+    a.outcome = SiteOutcome::kKept;
+    out.push_back(a);
+  }
+
+  std::sort(out.begin(), out.end(),
+            [](const SiteAssessment& x, const SiteAssessment& y) { return x.site < y.site; });
+  return out;
+}
+
+}  // namespace v6mon::analysis

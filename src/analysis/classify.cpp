@@ -1,0 +1,45 @@
+#include "analysis/classify.h"
+
+namespace v6mon::analysis {
+
+std::vector<ClassifiedSite> classify_sites(
+    const std::vector<SiteAssessment>& assessments) {
+  std::vector<ClassifiedSite> out;
+  out.reserve(assessments.size());
+  for (const SiteAssessment& a : assessments) {
+    if (a.v4_origin == topo::kNoAs || a.v6_origin == topo::kNoAs) continue;
+    ClassifiedSite c;
+    c.assessment = a;
+    if (a.v4_origin != a.v6_origin) {
+      c.category = Category::kDl;
+      c.dest_as = a.v4_origin;
+    } else {
+      c.dest_as = a.v4_origin;
+      // Path ids come from one shared registry per vantage point, so id
+      // equality is sequence equality.
+      c.category = (a.v4_path == a.v6_path && a.v4_path != core::kNoPath)
+                       ? Category::kSp
+                       : Category::kDp;
+      if (a.v4_path == core::kNoPath && a.v6_path == core::kNoPath) {
+        // Both local to the vantage point's AS: identical (empty) paths.
+        c.category = Category::kSp;
+      }
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+CategoryCounts count_categories(const std::vector<ClassifiedSite>& sites) {
+  CategoryCounts counts;
+  for (const ClassifiedSite& s : sites) {
+    switch (s.category) {
+      case Category::kDl: ++counts.dl; break;
+      case Category::kSp: ++counts.sp; break;
+      case Category::kDp: ++counts.dp; break;
+    }
+  }
+  return counts;
+}
+
+}  // namespace v6mon::analysis

@@ -1,0 +1,35 @@
+#include "analysis/report.h"
+
+namespace v6mon::analysis {
+
+VpReport analyze_vp(const std::string& name, const core::ResultsDb& db,
+                    const AssessmentParams& ap, const AsLevelParams& lp) {
+  VpReport r;
+  r.name = name;
+  r.db = &db;
+  r.assessments = assess_sites(db, ap);
+  for (const SiteAssessment& a : r.assessments) {
+    (a.outcome == SiteOutcome::kKept ? r.kept : r.removed).push_back(a);
+  }
+  r.kept_classified = classify_sites(r.kept);
+  r.removed_classified = classify_sites(r.removed);
+  r.sp_ases = evaluate_dest_ases(r.kept_classified, Category::kSp, lp);
+  AsLevelParams dp_params = lp;
+  dp_params.symmetric = true;  // Table 11 asks for *equal* performance
+  r.dp_ases = evaluate_dest_ases(r.kept_classified, Category::kDp, dp_params);
+  return r;
+}
+
+std::vector<VpReport> analyze_world(const core::World& world,
+                                    const std::vector<const core::ResultsDb*>& dbs,
+                                    const AssessmentParams& ap,
+                                    const AsLevelParams& lp) {
+  std::vector<VpReport> out;
+  for (std::size_t i = 0; i < world.vantage_points.size() && i < dbs.size(); ++i) {
+    if (!world.vantage_points[i].has_as_path) continue;
+    out.push_back(analyze_vp(world.vantage_points[i].name, *dbs[i], ap, lp));
+  }
+  return out;
+}
+
+}  // namespace v6mon::analysis

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/as_level.h"
+#include "analysis/assessment.h"
+#include "analysis/classify.h"
+#include "core/results.h"
+#include "core/world.h"
+
+namespace v6mon::analysis {
+
+/// Everything the table builders need about one vantage point's campaign.
+struct VpReport {
+  std::string name;
+  const core::ResultsDb* db = nullptr;
+
+  std::vector<SiteAssessment> assessments;  ///< All assessed sites.
+  std::vector<SiteAssessment> kept;
+  std::vector<SiteAssessment> removed;
+
+  std::vector<ClassifiedSite> kept_classified;
+  std::vector<ClassifiedSite> removed_classified;
+
+  std::vector<AsPerf> sp_ases;  ///< SP destination-AS evaluation (Table 8).
+  std::vector<AsPerf> dp_ases;  ///< DP destination-AS evaluation (Table 11).
+
+  [[nodiscard]] CategoryCounts kept_counts() const {
+    return count_categories(kept_classified);
+  }
+};
+
+/// Run the full Fig. 4 pipeline for one vantage point's results database
+/// (which must be finalized).
+[[nodiscard]] VpReport analyze_vp(const std::string& name, const core::ResultsDb& db,
+                                  const AssessmentParams& ap = {},
+                                  const AsLevelParams& lp = {});
+
+/// Analyze the AS_PATH-capable vantage points of a world in one call.
+/// `dbs[i]` pairs with `world.vantage_points[i]`; VPs without AS_PATH are
+/// skipped (they cannot feed the path-based methodology).
+[[nodiscard]] std::vector<VpReport> analyze_world(
+    const core::World& world, const std::vector<const core::ResultsDb*>& dbs,
+    const AssessmentParams& ap = {}, const AsLevelParams& lp = {});
+
+}  // namespace v6mon::analysis

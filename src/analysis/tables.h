@@ -1,0 +1,166 @@
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "analysis/report.h"
+#include "util/table.h"
+#include "web/catalog.h"
+
+namespace v6mon::analysis {
+
+// ---------------------------------------------------------------------------
+// Figures
+// ---------------------------------------------------------------------------
+
+/// Fig. 1 — IPv6 reachability of the ranked site list over time.
+struct Fig1Point {
+  std::uint32_t round = 0;
+  double reachability = 0.0;
+  std::size_t listed = 0;
+};
+[[nodiscard]] std::vector<Fig1Point> fig1_series(const web::SiteCatalog& catalog,
+                                                 std::uint32_t num_rounds);
+[[nodiscard]] util::TextTable fig1_table(const std::vector<Fig1Point>& series);
+
+/// Fig. 3a — IPv6 reachability by rank bucket at a given round.
+struct Fig3aBucket {
+  std::string label;
+  std::size_t sites = 0;
+  double reachability = 0.0;
+};
+[[nodiscard]] std::vector<Fig3aBucket> fig3a_buckets(const web::SiteCatalog& catalog,
+                                                     std::uint32_t round);
+[[nodiscard]] util::TextTable fig3a_table(const std::vector<Fig3aBucket>& buckets);
+
+/// Fig. 3b — how often IPv6 download is faster, ranked list vs the
+/// supplemental-augmented sample.
+struct Fig3b {
+  double top_list_v6_faster = 0.0;
+  double all_sites_v6_faster = 0.0;
+  std::size_t top_list_n = 0;
+  std::size_t all_n = 0;
+};
+[[nodiscard]] Fig3b fig3b_sample_bias(const VpReport& vp, const web::SiteCatalog& catalog);
+[[nodiscard]] util::TextTable fig3b_table(const Fig3b& f);
+
+// ---------------------------------------------------------------------------
+// Tables
+// ---------------------------------------------------------------------------
+
+/// Table 2 — monitoring profiles per vantage point (+ "All" unions).
+struct Table2Col {
+  std::string vp;
+  std::size_t sites_total = 0;  ///< Sites accessible over both families.
+  std::size_t sites_kept = 0;
+  std::size_t dest_ases_v4 = 0;
+  std::size_t dest_ases_v6 = 0;
+  std::size_t crossed_v4 = 0;
+  std::size_t crossed_v6 = 0;
+};
+struct Table2 {
+  std::vector<Table2Col> cols;  ///< One per VP, plus a final "All" column
+                                ///< (sites_total/kept are 0 there — "NA").
+};
+[[nodiscard]] Table2 table2_profiles(const std::vector<VpReport>& vps);
+[[nodiscard]] util::TextTable table2_render(const Table2& t);
+
+/// Table 3 — causes of confidence-target failures.
+struct Table3Row {
+  std::string vp;
+  std::size_t insufficient = 0;
+  std::size_t step_up = 0;
+  std::size_t step_down = 0;
+  std::size_t trend_up = 0;
+  std::size_t trend_down = 0;
+  std::size_t step_up_path_change = 0;    ///< Of step_up, with path change.
+  std::size_t step_down_path_change = 0;  ///< Of step_down, with path change.
+};
+[[nodiscard]] std::vector<Table3Row> table3_sanitization(const std::vector<VpReport>& vps);
+[[nodiscard]] util::TextTable table3_render(const std::vector<Table3Row>& rows);
+
+/// Table 4 — kept-site classification per vantage point.
+struct Table4Row {
+  std::string vp;
+  std::size_t dl = 0;
+  std::size_t sp = 0;
+  std::size_t dp = 0;
+};
+[[nodiscard]] std::vector<Table4Row> table4_classification(const std::vector<VpReport>& vps);
+[[nodiscard]] util::TextTable table4_render(const std::vector<Table4Row>& rows);
+
+/// Table 5 — removed sites (transition/trend removals) by class and
+/// whether their IPv6 performance was good (comparable-or-better).
+struct Table5Row {
+  std::string vp;
+  std::size_t sp_good = 0, sp_bad = 0;
+  std::size_t dp_good = 0, dp_bad = 0;
+  std::size_t dl_good = 0, dl_bad = 0;
+};
+[[nodiscard]] std::vector<Table5Row> table5_removed_bias(const std::vector<VpReport>& vps);
+[[nodiscard]] util::TextTable table5_render(const std::vector<Table5Row>& rows);
+
+/// Table 6 — DL sites: IPv6 vs IPv4 performance.
+struct Table6Row {
+  std::string vp;
+  std::size_t sites = 0;
+  double pct_v4_ge_v6 = 0.0;  ///< Fraction of sites where IPv4 >= IPv6.
+  double v4_perf = 0.0;       ///< Mean speeds (kbytes/sec).
+  double v6_perf = 0.0;
+};
+[[nodiscard]] std::vector<Table6Row> table6_dl_perf(const std::vector<VpReport>& vps);
+[[nodiscard]] util::TextTable table6_render(const std::vector<Table6Row>& rows);
+
+/// Hop-count bucket (1, 2, 3, 4, >=5).
+struct HopBucket {
+  double mean_speed = 0.0;
+  std::size_t sites = 0;
+};
+inline constexpr std::size_t kHopBuckets = 5;
+
+/// Tables 7 & 9 — performance by AS-hop count. Table 7 runs on DL+DP
+/// sites (per-family bucketing: the families' path lengths differ);
+/// Table 9 runs on SP sites (one common hop count).
+struct HopCountRow {
+  std::string vp;
+  std::array<HopBucket, kHopBuckets> v4{};
+  std::array<HopBucket, kHopBuckets> v6{};
+};
+[[nodiscard]] std::vector<HopCountRow> table7_hopcount_dldp(const std::vector<VpReport>& vps);
+[[nodiscard]] std::vector<HopCountRow> table9_hopcount_sp(const std::vector<VpReport>& vps);
+[[nodiscard]] util::TextTable hopcount_render(const std::vector<HopCountRow>& rows);
+
+/// Table 8 — SP destination-AS evaluation + cross-checks.
+struct Table8Col {
+  std::string vp;
+  AsCategoryShares shares;
+  std::size_t xcheck_pos = 0;
+  std::size_t xcheck_neg = 0;
+};
+[[nodiscard]] std::vector<Table8Col> table8_sp(const std::vector<VpReport>& vps);
+[[nodiscard]] util::TextTable table8_render(const std::vector<Table8Col>& cols);
+
+/// Table 11 — DP destination-AS evaluation (no cross-checks: deviations
+/// vary per vantage point, as in the paper).
+struct Table11Col {
+  std::string vp;
+  AsCategoryShares shares;
+};
+[[nodiscard]] std::vector<Table11Col> table11_dp(const std::vector<VpReport>& vps);
+[[nodiscard]] util::TextTable table11_render(const std::vector<Table11Col>& cols);
+
+/// Tables 10 & 12 — the World IPv6 Day variants (run over the W6D
+/// results databases; same builders, different headline).
+[[nodiscard]] util::TextTable table10_render(const std::vector<Table8Col>& cols);
+[[nodiscard]] util::TextTable table12_render(const std::vector<Table11Col>& cols);
+
+/// Table 13 — good-AS coverage of DP IPv6 paths.
+struct Table13Col {
+  std::string vp;
+  GoodAsCoverage coverage;
+};
+[[nodiscard]] std::vector<Table13Col> table13_good_as(const std::vector<VpReport>& vps);
+[[nodiscard]] util::TextTable table13_render(const std::vector<Table13Col>& cols);
+
+}  // namespace v6mon::analysis

@@ -1,0 +1,62 @@
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "ip/trie.h"
+#include "topo/as_graph.h"
+
+namespace v6mon::bgp {
+
+/// One installed route: the originating AS and the AS_PATH toward it.
+struct RibEntry {
+  topo::Asn origin = topo::kNoAs;
+  /// [first-hop AS, ..., origin AS]; empty for locally-originated space.
+  std::vector<topo::Asn> as_path;
+
+  [[nodiscard]] unsigned hop_count() const {
+    return static_cast<unsigned>(as_path.size());
+  }
+};
+
+/// The dual-stack BGP routing table of (a router near) one vantage point.
+/// This is the paper's "core routing table of a router close to the
+/// machine running the monitoring software": the monitor queries it for
+/// the AS_PATH to every site it measures.
+class Rib {
+ public:
+  void add_v4(const ip::Ipv4Prefix& prefix, RibEntry entry) {
+    v4_.insert(prefix, std::move(entry));
+  }
+  void add_v6(const ip::Ipv6Prefix& prefix, RibEntry entry) {
+    v6_.insert(prefix, std::move(entry));
+  }
+
+  /// Longest-prefix-match lookups; nullptr when the table has no route.
+  [[nodiscard]] const RibEntry* lookup_v4(const ip::Ipv4Address& a) const {
+    return v4_.lookup(a);
+  }
+  [[nodiscard]] const RibEntry* lookup_v6(const ip::Ipv6Address& a) const {
+    return v6_.lookup(a);
+  }
+
+  [[nodiscard]] std::size_t v4_routes() const { return v4_.size(); }
+  [[nodiscard]] std::size_t v6_routes() const { return v6_.size(); }
+
+  /// Visit all routes of one family (used by coverage statistics).
+  template <typename Fn>
+  void for_each_v4(Fn&& fn) const {
+    v4_.for_each(fn);
+  }
+  template <typename Fn>
+  void for_each_v6(Fn&& fn) const {
+    v6_.for_each(fn);
+  }
+
+ private:
+  ip::PrefixTrie<ip::Ipv4Address, RibEntry> v4_;
+  ip::PrefixTrie<ip::Ipv6Address, RibEntry> v6_;
+};
+
+}  // namespace v6mon::bgp

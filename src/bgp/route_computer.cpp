@@ -1,0 +1,206 @@
+#include "bgp/route_computer.h"
+
+#include <cassert>
+#include <queue>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace v6mon::bgp {
+
+using topo::Adjacency;
+using topo::AsGraph;
+using topo::Asn;
+using topo::kNoAs;
+using topo::Role;
+
+RouteTable::RouteTable(Asn dest, ip::Family family, std::size_t num_ases)
+    : dest_(dest),
+      family_(family),
+      next_hop_(num_ases, kNoAs),
+      cls_(num_ases, RouteClass::kNone),
+      length_(num_ases, 0) {}
+
+std::vector<Asn> RouteTable::as_path(Asn src) const {
+  std::vector<Asn> path;
+  if (src == dest_ || cls_[src] == RouteClass::kNone) return path;
+  path.reserve(length_[src]);
+  Asn cur = src;
+  while (cur != dest_) {
+    const Asn nh = next_hop_[cur];
+    if (nh == kNoAs || path.size() > next_hop_.size()) {
+      throw Error("corrupt route table: broken next-hop chain");
+    }
+    path.push_back(nh);
+    cur = nh;
+  }
+  return path;
+}
+
+RouteTable compute_routes_to(const AsGraph& graph, ip::Family family, Asn dest) {
+  const std::size_t n = graph.num_ases();
+  if (dest >= n) throw ConfigError("compute_routes_to: destination out of range");
+  RouteTable t(dest, family, n);
+
+  // Final BGP tie-break between equal-preference, equal-length candidates.
+  // Real routers fall back to router-id / route age — arbitrary but
+  // stable per (AS, neighbor, destination). A deterministic hash models
+  // that; lowest-ASN would instead make one provider win *every* tie,
+  // which no real multi-homed network observes. The hash is family-blind
+  // on purpose: a dual-stack router applies the same preferences to both
+  // families, so IPv6 follows the IPv4 choice whenever the IPv6 topology
+  // still contains it — path divergence then reflects genuinely missing
+  // IPv6 adjacencies, not coin flips.
+  auto tie_rank = [dest](Asn at, Asn via) {
+    return util::hash_combine(static_cast<std::uint64_t>(dest), "bgp-tie",
+                              (static_cast<std::uint64_t>(at) << 32) | via);
+  };
+
+  t.cls_[dest] = RouteClass::kOrigin;
+  t.length_[dest] = 0;
+
+  // ---- Stage 1: customer routes -----------------------------------------
+  // A route announced by the destination climbs provider chains: every AS
+  // on an all-downhill path to `dest` selects a customer route. BFS from
+  // the destination over customer->provider edges; level order gives the
+  // shortest path, and within a level the lowest next-hop ASN wins.
+  std::vector<Asn> frontier{dest};
+  std::vector<Asn> next_frontier;
+  std::uint16_t level = 0;
+  while (!frontier.empty()) {
+    ++level;
+    next_frontier.clear();
+    for (Asn u : frontier) {
+      for (const Adjacency& adj : graph.adjacencies(u)) {
+        if (adj.role != Role::kProvider) continue;  // u's provider hears the route
+        if (!graph.link_in_family(adj.link_id, family)) continue;
+        const Asn p = adj.neighbor;
+        if (t.cls_[p] == RouteClass::kOrigin) continue;
+        if (t.cls_[p] == RouteClass::kCustomer) {
+          if (t.length_[p] == level &&
+              tie_rank(p, u) < tie_rank(p, t.next_hop_[p])) {
+            t.next_hop_[p] = u;
+          }
+          continue;
+        }
+        t.cls_[p] = RouteClass::kCustomer;
+        t.length_[p] = level;
+        t.next_hop_[p] = u;
+        next_frontier.push_back(p);
+      }
+    }
+    frontier.swap(next_frontier);
+  }
+
+  // ---- Stage 2: peer routes ----------------------------------------------
+  // An AS without a customer route can reach `dest` through a peer that
+  // has one (valley-free: a peer edge may only be followed by downhill
+  // edges — which a customer route is made of).
+  for (Asn x = 0; x < n; ++x) {
+    if (t.cls_[x] == RouteClass::kCustomer || t.cls_[x] == RouteClass::kOrigin) continue;
+    for (const Adjacency& adj : graph.adjacencies(x)) {
+      if (adj.role != Role::kPeer) continue;
+      if (!graph.link_in_family(adj.link_id, family)) continue;
+      const Asn y = adj.neighbor;
+      if (t.cls_[y] != RouteClass::kCustomer && t.cls_[y] != RouteClass::kOrigin) continue;
+      const std::uint16_t cand = static_cast<std::uint16_t>(t.length_[y] + 1);
+      if (t.cls_[x] != RouteClass::kPeer || cand < t.length_[x] ||
+          (cand == t.length_[x] &&
+           tie_rank(x, y) < tie_rank(x, t.next_hop_[x]))) {
+        t.cls_[x] = RouteClass::kPeer;
+        t.length_[x] = cand;
+        t.next_hop_[x] = y;
+      }
+    }
+  }
+
+  // ---- Stage 3: provider routes -------------------------------------------
+  // Providers export their *selected* route (whatever its class) to
+  // customers, and those provider routes chain further down. Dijkstra over
+  // (length, asn) keyed pops; every AS already holding a customer/peer
+  // route is a fixed seed (its selection cannot be displaced by a provider
+  // route — class preference dominates).
+  using Key = std::pair<std::uint32_t, Asn>;  // (selected length, asn)
+  std::priority_queue<Key, std::vector<Key>, std::greater<>> pq;
+  for (Asn x = 0; x < n; ++x) {
+    if (t.cls_[x] != RouteClass::kNone) pq.push({t.length_[x], x});
+  }
+  std::vector<char> finalized(n, 0);
+  while (!pq.empty()) {
+    const auto [len, u] = pq.top();
+    pq.pop();
+    if (finalized[u] || len != t.length_[u]) continue;
+    finalized[u] = 1;
+    for (const Adjacency& adj : graph.adjacencies(u)) {
+      if (adj.role != Role::kCustomer) continue;  // u exports to its customers
+      if (!graph.link_in_family(adj.link_id, family)) continue;
+      const Asn c = adj.neighbor;
+      if (t.cls_[c] == RouteClass::kOrigin || t.cls_[c] == RouteClass::kCustomer ||
+          t.cls_[c] == RouteClass::kPeer) {
+        continue;  // better class already selected
+      }
+      const std::uint16_t cand = static_cast<std::uint16_t>(t.length_[u] + 1);
+      if (t.cls_[c] == RouteClass::kNone || cand < t.length_[c]) {
+        t.cls_[c] = RouteClass::kProvider;
+        t.length_[c] = cand;
+        t.next_hop_[c] = u;
+        pq.push({cand, c});
+      } else if (cand == t.length_[c] &&
+                 tie_rank(c, u) < tie_rank(c, t.next_hop_[c])) {
+        t.next_hop_[c] = u;  // tie-break; length unchanged, no re-push needed
+      }
+    }
+  }
+
+  return t;
+}
+
+namespace {
+
+/// Role of `to` relative to `from` across the (unique) from-to link in the
+/// given family; kNoAs-equivalent failure is reported via found=false.
+bool step_role(const AsGraph& graph, ip::Family family, Asn from, Asn to,
+               Role& role_out) {
+  for (const Adjacency& adj : graph.adjacencies(from)) {
+    if (adj.neighbor != to) continue;
+    if (!graph.link_in_family(adj.link_id, family)) continue;
+    role_out = adj.role;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool is_valley_free(const AsGraph& graph, Asn src, const std::vector<Asn>& path) {
+  if (path.empty()) return true;
+  // Phases: 0 = climbing (up edges), 1 = after the single peer edge,
+  // 2 = descending (down edges only).
+  int phase = 0;
+  Asn prev = src;
+  // The family does not change the valley-free rule; check against any
+  // family the step exists in, preferring an exact per-family check when
+  // the caller needs one (tests pass family-filtered paths).
+  for (Asn cur : path) {
+    Role role;
+    bool found = step_role(graph, ip::Family::kIpv4, prev, cur, role);
+    if (!found) found = step_role(graph, ip::Family::kIpv6, prev, cur, role);
+    if (!found) return false;  // path uses a non-existent adjacency
+    switch (role) {
+      case Role::kProvider:  // prev -> its provider: uphill
+        if (phase != 0) return false;
+        break;
+      case Role::kPeer:
+        if (phase != 0) return false;
+        phase = 1;
+        break;
+      case Role::kCustomer:  // downhill
+        phase = 2;
+        break;
+    }
+    prev = cur;
+  }
+  return true;
+}
+
+}  // namespace v6mon::bgp

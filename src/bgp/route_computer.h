@@ -1,0 +1,78 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ip/prefix.h"
+#include "topo/as_graph.h"
+
+namespace v6mon::bgp {
+
+/// Class of the selected route at an AS, in *decreasing* preference order
+/// per the Gao-Rexford economic model: routes learned from customers are
+/// preferred over routes learned from peers over routes learned from
+/// providers, regardless of AS-path length.
+enum class RouteClass : std::uint8_t { kNone, kOrigin, kCustomer, kPeer, kProvider };
+
+[[nodiscard]] constexpr const char* route_class_name(RouteClass c) {
+  switch (c) {
+    case RouteClass::kNone: return "none";
+    case RouteClass::kOrigin: return "origin";
+    case RouteClass::kCustomer: return "customer";
+    case RouteClass::kPeer: return "peer";
+    case RouteClass::kProvider: return "provider";
+  }
+  return "?";
+}
+
+/// Best routes from *every* AS toward one destination AS, in one family.
+///
+/// BGP convergence is destination-rooted, so this is the natural unit of
+/// computation: stage 1 propagates customer routes up provider chains,
+/// stage 2 extends them one peer hop, stage 3 floods provider routes
+/// downhill (Dijkstra over selected-route lengths). Selection prefers
+/// customer > peer > provider, then shortest AS path, then a stable
+/// per-(AS, neighbor, destination) hash — deterministic, but spreading
+/// ties across neighbors the way router-id/route-age tie-breaks do in
+/// the wild.
+class RouteTable {
+ public:
+  RouteTable(topo::Asn dest, ip::Family family, std::size_t num_ases);
+
+  [[nodiscard]] topo::Asn dest() const { return dest_; }
+  [[nodiscard]] ip::Family family() const { return family_; }
+
+  [[nodiscard]] bool reachable(topo::Asn src) const {
+    return cls_[src] != RouteClass::kNone;
+  }
+  [[nodiscard]] RouteClass route_class(topo::Asn src) const { return cls_[src]; }
+  /// AS-path length in edges (0 at the destination itself).
+  [[nodiscard]] unsigned path_length(topo::Asn src) const { return length_[src]; }
+  [[nodiscard]] topo::Asn next_hop(topo::Asn src) const { return next_hop_[src]; }
+
+  /// Full AS_PATH from `src`: [first-hop, ..., dest]. Empty when src is
+  /// the destination or has no route. Mirrors what `show ip bgp` would
+  /// print at a router inside `src` (local AS excluded, origin included).
+  [[nodiscard]] std::vector<topo::Asn> as_path(topo::Asn src) const;
+
+ private:
+  friend RouteTable compute_routes_to(const topo::AsGraph&, ip::Family, topo::Asn);
+
+  topo::Asn dest_;
+  ip::Family family_;
+  std::vector<topo::Asn> next_hop_;
+  std::vector<RouteClass> cls_;
+  std::vector<std::uint16_t> length_;
+};
+
+/// Run the three-stage Gao-Rexford computation for one destination.
+[[nodiscard]] RouteTable compute_routes_to(const topo::AsGraph& graph,
+                                           ip::Family family, topo::Asn dest);
+
+/// Classify one step src->nbr as uphill / peer / downhill, and verify a
+/// whole AS path is valley-free (up* [peer] down*). Used by tests and by
+/// debug assertions; a policy-routing bug would show up here first.
+[[nodiscard]] bool is_valley_free(const topo::AsGraph& graph, topo::Asn src,
+                                  const std::vector<topo::Asn>& path);
+
+}  // namespace v6mon::bgp

@@ -1,0 +1,121 @@
+#include "core/campaign.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "core/thread_pool.h"
+#include "web/dns_backend.h"
+
+namespace v6mon::core {
+
+Campaign::Campaign(const World& world, CampaignConfig config)
+    : world_(world), config_(config) {
+  if (config_.threads == 0) {
+    const std::size_t hw = std::max(1u, std::thread::hardware_concurrency());
+    config_.threads = std::min(config_.monitor.max_parallel_sites, hw);
+  }
+  for (const VantagePoint& vp : world_.vantage_points) {
+    results_.push_back(std::make_unique<ResultsDb>());
+    w6d_results_.push_back(std::make_unique<ResultsDb>());
+    monitors_.emplace_back(world_, vp, config_.monitor);
+  }
+}
+
+void Campaign::run_sites(std::size_t vp_index, std::uint32_t round,
+                         const std::vector<std::uint32_t>& sites, ResultsDb& db,
+                         std::uint64_t salt) {
+  const Monitor& monitor = monitors_[vp_index];
+  const web::CatalogDnsBackend backend(world_.catalog);
+  const util::Rng root(config_.seed);
+
+  ThreadPool pool(config_.threads);
+  constexpr std::size_t kChunk = 512;
+  for (std::size_t begin = 0; begin < sites.size(); begin += kChunk) {
+    const std::size_t end = std::min(begin + kChunk, sites.size());
+    pool.submit([&, begin, end] {
+      dns::Resolver resolver(backend, config_.monitor.dns,
+                             root.child("dns", salt ^ begin));
+      for (std::size_t i = begin; i < end; ++i) {
+        const web::Site& site = world_.catalog.site(sites[i]);
+        const std::uint64_t key =
+            ((static_cast<std::uint64_t>(vp_index) * 4096 + round) << 32) |
+            (site.id ^ salt);
+        const Observation obs = monitor.monitor_site(
+            site, round, resolver, root.child("monitor", key), db.paths());
+        db.count(round, obs.status);
+        if (obs.status == MonitorStatus::kMeasured ||
+            obs.status == MonitorStatus::kDifferentContent ||
+            obs.status == MonitorStatus::kV4DownloadFailed ||
+            obs.status == MonitorStatus::kV6DownloadFailed) {
+          db.add(obs);
+        }
+      }
+    });
+  }
+  pool.wait_idle();
+}
+
+void Campaign::run_round(std::size_t vp_index, std::uint32_t round) {
+  const VantagePoint& vp = world_.vantage_points[vp_index];
+  if (round < vp.start_round) return;
+  ResultsDb& db = *results_[vp_index];
+
+  // Collect this round's work list. The fast path settles v4-only sites
+  // inline: with no DNS failure injection their pipeline outcome is
+  // exactly kV4Only.
+  const bool can_fast_path =
+      config_.fast_path && config_.monitor.dns.timeout_prob == 0.0;
+  std::vector<std::uint32_t> work;
+  std::uint64_t listed = 0;
+  for (const web::Site& s : world_.catalog.sites()) {
+    if (s.from_dns_cache && !vp.uses_dns_cache_supplement) continue;
+    if (!s.in_list_at(round)) continue;
+    ++listed;
+    if (can_fast_path && !s.dual_stack_at(round)) {
+      db.count(round, MonitorStatus::kV4Only);
+      continue;
+    }
+    work.push_back(s.id);
+  }
+  db.count_listed(round, listed);
+
+  // Randomize monitoring order (the paper randomizes per round to avoid
+  // time-of-day bias).
+  util::Rng order = util::Rng(config_.seed).child("order", (vp_index << 20) | round);
+  order.shuffle(work);
+
+  run_sites(vp_index, round, work, db, /*salt=*/0);
+}
+
+void Campaign::run() {
+  for (std::size_t vp = 0; vp < world_.vantage_points.size(); ++vp) {
+    for (std::uint32_t round = 0; round <= world_.num_rounds; ++round) {
+      run_round(vp, round);
+    }
+  }
+}
+
+void Campaign::run_w6d() {
+  if (world_.w6d_round == web::kNever) return;
+  std::vector<std::uint32_t> participants;
+  for (const web::Site& s : world_.catalog.sites()) {
+    if (s.w6d_participant) participants.push_back(s.id);
+  }
+  for (std::size_t vp = 0; vp < world_.vantage_points.size(); ++vp) {
+    if (world_.vantage_points[vp].start_round > world_.w6d_round) continue;
+    ResultsDb& db = *w6d_results_[vp];
+    for (std::size_t mini = 0; mini < config_.w6d_mini_rounds; ++mini) {
+      // All mini-rounds happen at the W6D calendar round (same DNS state)
+      // but with independent randomness.
+      run_sites(vp, world_.w6d_round, participants, db,
+                /*salt=*/0x60d00000ULL + mini);
+    }
+  }
+}
+
+void Campaign::finalize() {
+  for (auto& db : results_) db->finalize();
+  for (auto& db : w6d_results_) db->finalize();
+}
+
+}  // namespace v6mon::core

@@ -1,0 +1,71 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/monitor.h"
+#include "core/results.h"
+#include "core/world.h"
+
+namespace v6mon::core {
+
+/// Campaign-level configuration.
+struct CampaignConfig {
+  MonitorConfig monitor;
+  /// Worker threads; 0 = min(monitor.max_parallel_sites, hardware).
+  std::size_t threads = 0;
+  /// Root seed for all measurement randomness (derives per-site streams,
+  /// so results are independent of thread scheduling).
+  std::uint64_t seed = 1;
+  /// Skip the full pipeline for sites without an AAAA record when no DNS
+  /// failure injection is configured (the outcome is provably kV4Only).
+  /// Purely an optimization; tests cover equivalence.
+  bool fast_path = true;
+  /// Mini-rounds run during the World IPv6 Day event (the paper monitored
+  /// participants every 30 minutes for the day).
+  std::size_t w6d_mini_rounds = 12;
+};
+
+/// Runs the paper's measurement campaign: for every vantage point, one
+/// monitoring round per campaign round from the VP's start round onward,
+/// plus the optional World IPv6 Day special (participants only, many
+/// samples, stored separately).
+class Campaign {
+ public:
+  Campaign(const World& world, CampaignConfig config);
+
+  /// Run all regular rounds for all vantage points.
+  void run();
+
+  /// Run one round for one vantage point (exposed for tests/examples).
+  void run_round(std::size_t vp_index, std::uint32_t round);
+
+  /// Run the World IPv6 Day special event for every vantage point.
+  /// No-op when the world has no W6D round.
+  void run_w6d();
+
+  [[nodiscard]] const ResultsDb& results(std::size_t vp_index) const {
+    return *results_.at(vp_index);
+  }
+  [[nodiscard]] const ResultsDb& w6d_results(std::size_t vp_index) const {
+    return *w6d_results_.at(vp_index);
+  }
+  [[nodiscard]] const World& world() const { return world_; }
+  [[nodiscard]] const CampaignConfig& config() const { return config_; }
+
+  /// Sort series; call after all runs, before analysis.
+  void finalize();
+
+ private:
+  void run_sites(std::size_t vp_index, std::uint32_t round,
+                 const std::vector<std::uint32_t>& sites, ResultsDb& db,
+                 std::uint64_t salt);
+
+  const World& world_;
+  CampaignConfig config_;
+  std::vector<std::unique_ptr<ResultsDb>> results_;
+  std::vector<std::unique_ptr<ResultsDb>> w6d_results_;
+  std::vector<Monitor> monitors_;
+};
+
+}  // namespace v6mon::core

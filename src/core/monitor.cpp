@@ -1,0 +1,208 @@
+#include "core/monitor.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "transport/path.h"
+#include "util/stats.h"
+
+namespace v6mon::core {
+
+namespace {
+
+/// Deterministic per-path quality factor (mean 1). Family-blind: keyed by
+/// the AS sequence alone.
+double path_quality(const std::vector<topo::Asn>& as_path, double sigma) {
+  if (sigma <= 0.0 || as_path.empty()) return 1.0;
+  std::uint64_t key = 0x9e3779b97f4a7c15ULL;
+  for (topo::Asn asn : as_path) {
+    key = util::hash_combine(key, "path-hop", asn);
+  }
+  util::Rng rng(key);
+  return std::exp(rng.normal(-sigma * sigma / 2.0, sigma));
+}
+
+}  // namespace
+
+Monitor::Monitor(const World& world, const VantagePoint& vp, MonitorConfig config)
+    : world_(world), vp_(vp), config_(config), sim_(config.download) {}
+
+Monitor::FamilyMeasurement Monitor::measure_family(
+    const transport::PathCharacteristics& path, double page_kb, double server_rate,
+    util::Rng& rng) const {
+  FamilyMeasurement m;
+  util::RunningStats times;
+  std::size_t attempts = 0;
+  const std::size_t max_attempts = config_.max_downloads + config_.fetch_retries;
+  while (attempts < max_attempts) {
+    ++attempts;
+    const auto dl = sim_.simulate(path, page_kb, server_rate, rng);
+    if (!dl.ok) continue;
+    times.add(dl.seconds);
+    if (times.count() >= config_.min_downloads &&
+        (times.meets_relative_ci(config_.ci_rel, config_.confidence) ||
+         times.count() >= config_.max_downloads)) {
+      break;
+    }
+  }
+  if (times.count() < config_.min_downloads) return m;  // too many failures
+  m.ok = true;
+  m.mean_time_s = times.mean();
+  m.speed_kBps = page_kb / m.mean_time_s;
+  m.samples = static_cast<std::uint16_t>(times.count());
+  return m;
+}
+
+Observation Monitor::monitor_site(const web::Site& site, std::uint32_t round,
+                                  dns::Resolver& resolver, util::Rng rng,
+                                  PathRegistry& paths) const {
+  Observation obs;
+  obs.site = site.id;
+  obs.round = round;
+
+  // --- Phase 1: randomized A / AAAA queries -----------------------------
+  const std::string host = site.hostname();
+  // Order of the two queries is randomized like the tool randomizes its
+  // site order; it has no observable effect here but keeps draw parity.
+  const bool a_first = rng.chance(0.5);
+  dns::QueryResult a_res, aaaa_res;
+  if (a_first) {
+    a_res = resolver.resolve(host, dns::RecordType::kA, round);
+    aaaa_res = resolver.resolve(host, dns::RecordType::kAaaa, round);
+  } else {
+    aaaa_res = resolver.resolve(host, dns::RecordType::kAaaa, round);
+    a_res = resolver.resolve(host, dns::RecordType::kA, round);
+  }
+
+  const bool has_a = a_res.has_answers();
+  const bool has_aaaa = aaaa_res.has_answers();
+  if (!has_a && !has_aaaa) {
+    obs.status = MonitorStatus::kDnsFailed;
+    return obs;
+  }
+  if (has_a && !has_aaaa) {
+    obs.status = MonitorStatus::kV4Only;
+    return obs;
+  }
+  if (!has_a && has_aaaa) {
+    obs.status = MonitorStatus::kV6Only;
+    return obs;
+  }
+
+  // --- Phase 2: locate both presences through the RIB --------------------
+  const ip::Ipv4Address v4_addr = a_res.records.front().a();
+  const ip::Ipv6Address v6_addr = aaaa_res.records.front().aaaa();
+
+  const bgp::RibEntry* v4_route = vp_.rib.lookup_v4(v4_addr);
+  const bgp::RibEntry* v6_route = vp_.rib.lookup_v6(v6_addr);
+  if (v4_route != nullptr) {
+    obs.v4_origin = v4_route->origin;
+    if (vp_.has_as_path) obs.v4_path = paths.intern(v4_route->as_path);
+  }
+  if (v6_route != nullptr) {
+    obs.v6_origin = v6_route->origin;
+    if (vp_.has_as_path) obs.v6_path = paths.intern(v6_route->as_path);
+  }
+  if (v4_route == nullptr) {
+    obs.status = MonitorStatus::kV4DownloadFailed;
+    return obs;
+  }
+  if (v6_route == nullptr) {
+    obs.status = MonitorStatus::kV6DownloadFailed;
+    return obs;
+  }
+
+  auto v4_path = transport::characterize_path(world_.graph, vp_.asn,
+                                              v4_route->as_path, ip::Family::kIpv4);
+  auto v6_path = transport::characterize_path(world_.graph, vp_.asn,
+                                              v6_route->as_path, ip::Family::kIpv6);
+  v4_path.quality = path_quality(v4_route->as_path, config_.path_quality_sigma);
+  v6_path.quality = path_quality(v6_route->as_path, config_.path_quality_sigma);
+
+  // 6to4 anycast: the RIB's 2002::/16 route only reaches the relay — the
+  // AS path *looks* 1-2 hops long. Packets then ride the IPv4 underlay to
+  // the island; add that hidden leg's cost (the Table 7 artifact).
+  if (v6_path.valid && v6_addr.is_6to4()) {
+    const auto island = world_.origins.origin_v4(v6_addr.embedded_6to4_v4());
+    const topo::AsLink* tunnel = nullptr;
+    if (island.has_value()) {
+      for (const topo::Adjacency& adj : world_.graph.adjacencies(*island)) {
+        const topo::AsLink& l = world_.graph.link(adj.link_id);
+        if (l.v6_tunnel) {
+          tunnel = &l;
+          break;
+        }
+      }
+    }
+    if (tunnel == nullptr) {
+      obs.status = MonitorStatus::kV6DownloadFailed;  // no working relay leg
+      return obs;
+    }
+    v6_path.via_tunnel = true;
+    v6_path.rtt_ms +=
+        2.0 * (tunnel->metrics.latency_ms + tunnel->tunnel_extra_latency_ms);
+    v6_path.bottleneck_kBps =
+        std::min(v6_path.bottleneck_kBps,
+                 tunnel->metrics.bandwidth_kBps * tunnel->tunnel_bandwidth_factor);
+    v6_path.underlying_hops += tunnel->tunnel_underlying_hops;
+  }
+  if (!v4_path.valid) {
+    obs.status = MonitorStatus::kV4DownloadFailed;
+    return obs;
+  }
+  if (!v6_path.valid) {
+    obs.status = MonitorStatus::kV6DownloadFailed;
+    return obs;
+  }
+
+  // --- Phase 3: identity check -------------------------------------------
+  // Sizes come back from the initial page fetch of each family.
+  const double v4_page = site.page_kb;
+  const double v6_page = site.page_kb * site.v6_page_ratio;
+  const double server_mult = site.server_multiplier_at(round);
+  const double v4_rate = site.server_rate_kBps * server_mult;
+  const double v6_rate = v4_rate * site.v6_server_factor;
+
+  bool v4_fetched = false, v6_fetched = false;
+  for (std::size_t i = 0; i < config_.fetch_retries && !v4_fetched; ++i) {
+    v4_fetched = sim_.simulate(v4_path, v4_page, v4_rate, rng).ok;
+  }
+  if (!v4_fetched) {
+    obs.status = MonitorStatus::kV4DownloadFailed;
+    return obs;
+  }
+  for (std::size_t i = 0; i < config_.fetch_retries && !v6_fetched; ++i) {
+    v6_fetched = sim_.simulate(v6_path, v6_page, v6_rate, rng).ok;
+  }
+  if (!v6_fetched) {
+    obs.status = MonitorStatus::kV6DownloadFailed;
+    return obs;
+  }
+  if (std::fabs(v6_page - v4_page) > config_.identity_threshold * v4_page) {
+    obs.status = MonitorStatus::kDifferentContent;
+    return obs;
+  }
+
+  // --- Phase 4: repeated downloads to the confidence target ---------------
+  // IPv4 first, then IPv6, as in the paper (each after cache resets, which
+  // the simulator models by independent draws).
+  const FamilyMeasurement v4 = measure_family(v4_path, v4_page, v4_rate, rng);
+  if (!v4.ok) {
+    obs.status = MonitorStatus::kV4DownloadFailed;
+    return obs;
+  }
+  const FamilyMeasurement v6 = measure_family(v6_path, v6_page, v6_rate, rng);
+  if (!v6.ok) {
+    obs.status = MonitorStatus::kV6DownloadFailed;
+    return obs;
+  }
+
+  obs.status = MonitorStatus::kMeasured;
+  obs.v4_speed_kBps = static_cast<float>(v4.speed_kBps);
+  obs.v6_speed_kBps = static_cast<float>(v6.speed_kBps);
+  obs.v4_samples = v4.samples;
+  obs.v6_samples = v6.samples;
+  return obs;
+}
+
+}  // namespace v6mon::core

@@ -1,0 +1,85 @@
+#pragma once
+
+#include "core/results.h"
+#include "core/vantage.h"
+#include "core/world.h"
+#include "dns/resolver.h"
+#include "transport/download.h"
+#include "util/rng.h"
+#include "web/site.h"
+
+namespace v6mon::core {
+
+/// Monitoring-tool configuration — the constants of the paper's Fig. 2
+/// pipeline.
+struct MonitorConfig {
+  /// Pages are "identical" when byte counts are within this fraction.
+  double identity_threshold = 0.06;
+  /// Downloads repeat until the CI half-width of mean download time is
+  /// within this fraction of the mean...
+  double ci_rel = 0.10;
+  /// ...at this confidence level.
+  double confidence = 0.95;
+  std::size_t min_downloads = 3;
+  std::size_t max_downloads = 30;
+  /// Persistent per-path quality spread (lognormal sigma, mean 1): real
+  /// paths differ in congestion/provisioning far beyond their nominal
+  /// metrics. Keyed by the AS path *sequence* and family-blind, so the two
+  /// families of an SP site share one factor (their comparison stays
+  /// tight) while DP sites draw independent factors (wide v6/v4 spread —
+  /// the reconciliation of the paper's Fig. 3b with its Table 11).
+  double path_quality_sigma = 0.55;
+  /// Attempts allowed for the initial identity-phase fetches.
+  std::size_t fetch_retries = 3;
+  /// Thread pool size ("no more than 25" in the paper).
+  std::size_t max_parallel_sites = 25;
+
+  dns::Resolver::Options dns;
+  transport::DownloadParams download;
+};
+
+/// The per-site monitoring pipeline of the paper's Fig. 2, bound to one
+/// vantage point:
+///
+///   DNS A+AAAA -> (both?) -> fetch main page over v4 and v6 ->
+///   identity check (6%) -> repeated downloads until the 95% CI of mean
+///   download time is within 10% of the mean -> record speeds + AS paths.
+///
+/// `monitor_site` is a pure function of (site, round, rng) given the
+/// immutable world, so results are identical however sites are scheduled
+/// across threads.
+class Monitor {
+ public:
+  Monitor(const World& world, const VantagePoint& vp, MonitorConfig config);
+
+  /// Run the pipeline for one site at one round. The resolver carries the
+  /// caller's DNS cache/failure state; `rng` must be dedicated to this
+  /// (site, round) so threading cannot reorder draws.
+  [[nodiscard]] Observation monitor_site(const web::Site& site, std::uint32_t round,
+                                         dns::Resolver& resolver, util::Rng rng,
+                                         PathRegistry& paths) const;
+
+  [[nodiscard]] const MonitorConfig& config() const { return config_; }
+  [[nodiscard]] const VantagePoint& vantage_point() const { return vp_; }
+
+ private:
+  struct FamilyMeasurement {
+    bool ok = false;
+    double mean_time_s = 0.0;
+    double speed_kBps = 0.0;
+    std::uint16_t samples = 0;
+  };
+
+  /// Repeated downloads until the confidence target; nullopt-like failure
+  /// when too many attempts fail.
+  FamilyMeasurement measure_family(const transport::PathCharacteristics& path,
+                                   double page_kb, double server_rate,
+                                   util::Rng& rng) const;
+
+  const World& world_;
+  const VantagePoint& vp_;
+  MonitorConfig config_;
+  transport::DownloadSimulator sim_;
+};
+
+}  // namespace v6mon::core

@@ -1,0 +1,127 @@
+#include "core/results.h"
+
+#include <algorithm>
+#include <cstring>
+#include <sstream>
+
+#include "util/error.h"
+
+namespace v6mon::core {
+
+std::string PathRegistry::key_of(const std::vector<topo::Asn>& path) {
+  std::string key;
+  key.resize(path.size() * sizeof(topo::Asn));
+  std::memcpy(key.data(), path.data(), key.size());
+  return key;
+}
+
+PathId PathRegistry::intern(const std::vector<topo::Asn>& path) {
+  const std::string key = key_of(path);
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto [it, inserted] = index_.try_emplace(key, static_cast<PathId>(paths_.size()));
+  if (inserted) paths_.push_back(path);
+  return it->second;
+}
+
+const std::vector<topo::Asn>& PathRegistry::path(PathId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return paths_.at(id);
+}
+
+std::size_t PathRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return paths_.size();
+}
+
+std::string PathRegistry::to_string(PathId id) const {
+  if (id == kNoPath) return "-";
+  std::ostringstream out;
+  const auto p = path(id);
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    if (i) out << ' ';
+    out << "AS" << p[i];
+  }
+  return p.empty() ? "(local)" : out.str();
+}
+
+void ResultsDb::add(const Observation& obs) {
+  std::lock_guard<std::mutex> lock(mu_);
+  series_[obs.site].push_back(obs);
+}
+
+RoundCounters& ResultsDb::round_slot(std::uint32_t round) {
+  if (round >= rounds_.size()) rounds_.resize(round + 1);
+  return rounds_[round];
+}
+
+void ResultsDb::count(std::uint32_t round, MonitorStatus status) {
+  std::lock_guard<std::mutex> lock(mu_);
+  RoundCounters& c = round_slot(round);
+  switch (status) {
+    case MonitorStatus::kDnsFailed: ++c.dns_failed; break;
+    case MonitorStatus::kV4Only: ++c.v4_only; break;
+    case MonitorStatus::kV6Only: ++c.v6_only; break;
+    case MonitorStatus::kV4DownloadFailed:
+    case MonitorStatus::kV6DownloadFailed:
+      ++c.dual;
+      ++c.download_failed;
+      break;
+    case MonitorStatus::kDifferentContent:
+      ++c.dual;
+      ++c.different_content;
+      break;
+    case MonitorStatus::kMeasured:
+      ++c.dual;
+      ++c.measured;
+      break;
+  }
+}
+
+void ResultsDb::count_listed(std::uint32_t round, std::uint64_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  round_slot(round).listed += n;
+}
+
+const std::vector<Observation>* ResultsDb::series(std::uint32_t site) const {
+  const auto it = series_.find(site);
+  return it == series_.end() ? nullptr : &it->second;
+}
+
+const RoundCounters& ResultsDb::round_counters(std::uint32_t round) const {
+  static const RoundCounters kEmpty{};
+  if (round >= rounds_.size()) return kEmpty;
+  return rounds_[round];
+}
+
+void ResultsDb::finalize() {
+  for (auto& [site, obs] : series_) {
+    std::sort(obs.begin(), obs.end(),
+              [](const Observation& a, const Observation& b) { return a.round < b.round; });
+  }
+}
+
+std::string ResultsDb::to_csv() const {
+  std::vector<std::uint32_t> sites;
+  sites.reserve(series_.size());
+  for (const auto& [site, obs] : series_) sites.push_back(site);
+  std::sort(sites.begin(), sites.end());
+
+  std::ostringstream out;
+  out << "site,round,status,v4_speed_kBps,v6_speed_kBps,v4_samples,v6_samples,"
+         "v4_origin,v6_origin,v4_path,v6_path\n";
+  for (std::uint32_t site : sites) {
+    for (const Observation& o : series_.at(site)) {
+      out << o.site << ',' << o.round << ',' << monitor_status_name(o.status) << ','
+          << o.v4_speed_kBps << ',' << o.v6_speed_kBps << ',' << o.v4_samples << ','
+          << o.v6_samples << ',';
+      if (o.v4_origin != topo::kNoAs) out << o.v4_origin;
+      out << ',';
+      if (o.v6_origin != topo::kNoAs) out << o.v6_origin;
+      out << ',' << paths_.to_string(o.v4_path) << ',' << paths_.to_string(o.v6_path)
+          << '\n';
+    }
+  }
+  return out.str();
+}
+
+}  // namespace v6mon::core

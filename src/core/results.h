@@ -1,0 +1,130 @@
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "topo/as_graph.h"
+
+namespace v6mon::core {
+
+/// Outcome of one site's monitoring pass (Fig. 2 of the paper).
+enum class MonitorStatus : std::uint8_t {
+  kDnsFailed,         ///< Neither A nor AAAA resolved (timeouts / NXDOMAIN).
+  kV4Only,            ///< A record only — the common case.
+  kV6Only,            ///< AAAA record only.
+  kV4DownloadFailed,  ///< Dual-stack but the IPv4 page fetch failed.
+  kV6DownloadFailed,  ///< Dual-stack but the IPv6 page fetch failed (e.g. no route).
+  kDifferentContent,  ///< Page sizes differ beyond the identity threshold.
+  kMeasured,          ///< Full performance sample recorded.
+};
+
+[[nodiscard]] constexpr const char* monitor_status_name(MonitorStatus s) {
+  switch (s) {
+    case MonitorStatus::kDnsFailed: return "dns-failed";
+    case MonitorStatus::kV4Only: return "v4-only";
+    case MonitorStatus::kV6Only: return "v6-only";
+    case MonitorStatus::kV4DownloadFailed: return "v4-download-failed";
+    case MonitorStatus::kV6DownloadFailed: return "v6-download-failed";
+    case MonitorStatus::kDifferentContent: return "different-content";
+    case MonitorStatus::kMeasured: return "measured";
+  }
+  return "?";
+}
+
+/// Interned AS-path id; kNoPath when no path was recorded.
+using PathId = std::uint32_t;
+inline constexpr PathId kNoPath = 0xffffffffu;
+
+/// Deduplicating store of AS paths. Measurement records reference paths
+/// by id so a campaign's millions of observations don't copy vectors.
+class PathRegistry {
+ public:
+  /// Intern a path (thread-safe); returns a stable id.
+  PathId intern(const std::vector<topo::Asn>& path);
+
+  [[nodiscard]] const std::vector<topo::Asn>& path(PathId id) const;
+  [[nodiscard]] std::size_t size() const;
+
+  /// Render "AS1 AS2 AS3" for logs/CSV.
+  [[nodiscard]] std::string to_string(PathId id) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::vector<topo::Asn>> paths_;
+  std::unordered_map<std::string, PathId> index_;  // serialized-path -> id
+
+  static std::string key_of(const std::vector<topo::Asn>& path);
+};
+
+/// One monitoring observation of one site in one round from one vantage
+/// point.
+struct Observation {
+  std::uint32_t site = 0;
+  std::uint32_t round = 0;
+  MonitorStatus status = MonitorStatus::kDnsFailed;
+  float v4_speed_kBps = 0.0f;  ///< Valid when status == kMeasured.
+  float v6_speed_kBps = 0.0f;
+  std::uint16_t v4_samples = 0;
+  std::uint16_t v6_samples = 0;
+  PathId v4_path = kNoPath;  ///< AS_PATH from the VP's RIB (if available).
+  PathId v6_path = kNoPath;
+  topo::Asn v4_origin = topo::kNoAs;  ///< Destination AS per the RIB.
+  topo::Asn v6_origin = topo::kNoAs;
+};
+
+/// Per-round aggregate counters (cover the whole catalog, including the
+/// v4-only masses that get no per-site series).
+struct RoundCounters {
+  std::uint64_t listed = 0;
+  std::uint64_t v4_only = 0;
+  std::uint64_t v6_only = 0;
+  std::uint64_t dual = 0;
+  std::uint64_t dns_failed = 0;
+  std::uint64_t measured = 0;
+  std::uint64_t different_content = 0;
+  std::uint64_t download_failed = 0;
+};
+
+/// All results collected by one vantage point over a campaign. Mirrors
+/// the paper's per-vantage-point MySQL database.
+class ResultsDb {
+ public:
+  /// Record a full observation (dual-stack sites). Thread-safe.
+  void add(const Observation& obs);
+
+  /// Bump per-round counters. Thread-safe.
+  void count(std::uint32_t round, MonitorStatus status);
+  void count_listed(std::uint32_t round, std::uint64_t n);
+
+  [[nodiscard]] PathRegistry& paths() { return paths_; }
+  [[nodiscard]] const PathRegistry& paths() const { return paths_; }
+
+  /// Per-site observation series, ordered by round.
+  [[nodiscard]] const std::vector<Observation>* series(std::uint32_t site) const;
+  [[nodiscard]] const std::unordered_map<std::uint32_t, std::vector<Observation>>&
+  all_series() const {
+    return series_;
+  }
+
+  [[nodiscard]] const RoundCounters& round_counters(std::uint32_t round) const;
+  [[nodiscard]] std::size_t rounds() const { return rounds_.size(); }
+
+  /// Sort each site's series by round (call once after ingest).
+  void finalize();
+
+  /// CSV dump of all observations (sorted by site, round).
+  [[nodiscard]] std::string to_csv() const;
+
+ private:
+  mutable std::mutex mu_;
+  PathRegistry paths_;
+  std::unordered_map<std::uint32_t, std::vector<Observation>> series_;
+  std::vector<RoundCounters> rounds_;
+
+  RoundCounters& round_slot(std::uint32_t round);
+};
+
+}  // namespace v6mon::core

@@ -1,0 +1,57 @@
+#include "core/thread_pool.h"
+
+#include "util/error.h"
+
+namespace v6mon::core {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) throw ConfigError("ThreadPool needs at least one thread");
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_task_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_task_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+}
+
+void ThreadPool::worker_loop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_task_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (stop_ && queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++active_;
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --active_;
+      if (queue_.empty() && active_ == 0) cv_idle_.notify_all();
+    }
+  }
+}
+
+}  // namespace v6mon::core

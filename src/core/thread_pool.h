@@ -1,0 +1,45 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace v6mon::core {
+
+/// Fixed-size worker pool. The paper's monitor is "multi-threaded so that
+/// multiple sites (no more than 25...) can be monitored in parallel" —
+/// this is that pool. Tasks must not throw (they are measurement closures
+/// that record their own failures).
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue a task.
+  void submit(std::function<void()> task);
+
+  /// Block until the queue is drained and all workers are idle.
+  void wait_idle();
+
+  [[nodiscard]] std::size_t thread_count() const { return workers_.size(); }
+
+ private:
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_idle_;
+  std::deque<std::function<void()>> queue_;
+  std::size_t active_ = 0;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace v6mon::core

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "bgp/rib.h"
+#include "topo/as_graph.h"
+
+namespace v6mon::core {
+
+/// A monitoring location (paper Table 1): the machine running the
+/// monitor, the AS it sits in, and the BGP table of a nearby router.
+struct VantagePoint {
+  enum class Type : std::uint8_t { kAcademic, kCommercial };
+
+  std::string name;
+  topo::Asn asn = topo::kNoAs;
+  /// First campaign round this vantage point participates in (monitoring
+  /// start dates differ per Table 1).
+  std::uint32_t start_round = 0;
+  /// AS_PATH information available from a nearby router (Table 1 col 3).
+  bool has_as_path = false;
+  /// White-listed by Google (Table 1 col 4) — recorded for fidelity; it
+  /// does not enter the analysis.
+  bool whitelisted = false;
+  Type type = Type::kAcademic;
+  /// This vantage point additionally imports sites from a local DNS cache
+  /// (the paper's Penn supplement used for Fig. 3b).
+  bool uses_dns_cache_supplement = false;
+
+  /// The dual-stack routing table queried for AS paths.
+  bgp::Rib rib;
+};
+
+[[nodiscard]] constexpr const char* vantage_type_name(VantagePoint::Type t) {
+  return t == VantagePoint::Type::kAcademic ? "Acad." : "Comml.";
+}
+
+}  // namespace v6mon::core

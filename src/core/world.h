@@ -1,0 +1,25 @@
+#pragma once
+
+#include <vector>
+
+#include "core/vantage.h"
+#include "topo/address_plan.h"
+#include "topo/as_graph.h"
+#include "web/catalog.h"
+
+namespace v6mon::core {
+
+/// Everything a measurement campaign runs against: the simulated
+/// Internet, the address plan's ground truth, the site universe, and the
+/// configured vantage points (with their RIBs already converged).
+struct World {
+  topo::AsGraph graph;
+  topo::OriginMap origins;
+  web::SiteCatalog catalog;
+  std::vector<VantagePoint> vantage_points;
+  /// Round index of World IPv6 Day (web::kNever when not modelled).
+  std::uint32_t w6d_round = web::kNever;
+  std::uint32_t num_rounds = 0;
+};
+
+}  // namespace v6mon::core

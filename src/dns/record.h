@@ -1,0 +1,49 @@
+#pragma once
+
+#include <string>
+#include <variant>
+
+#include "ip/ipv4.h"
+#include "ip/ipv6.h"
+
+namespace v6mon::dns {
+
+/// Record types the monitor cares about. The paper's tool issues A and
+/// AAAA queries for every monitored site (Fig. 2, first stage).
+enum class RecordType : std::uint8_t { kA, kAaaa, kNs };
+
+[[nodiscard]] constexpr const char* record_type_name(RecordType t) {
+  switch (t) {
+    case RecordType::kA: return "A";
+    case RecordType::kAaaa: return "AAAA";
+    case RecordType::kNs: return "NS";
+  }
+  return "?";
+}
+
+/// Typed RDATA.
+using Rdata = std::variant<ip::Ipv4Address, ip::Ipv6Address, std::string>;
+
+/// A single resource record.
+struct ResourceRecord {
+  std::string name;
+  RecordType type = RecordType::kA;
+  std::uint32_t ttl = 3600;  ///< Seconds; the resolver converts to rounds.
+  Rdata rdata;
+
+  [[nodiscard]] const ip::Ipv4Address& a() const {
+    return std::get<ip::Ipv4Address>(rdata);
+  }
+  [[nodiscard]] const ip::Ipv6Address& aaaa() const {
+    return std::get<ip::Ipv6Address>(rdata);
+  }
+};
+
+/// Response status.
+enum class Rcode : std::uint8_t {
+  kOk,        ///< Answer present (possibly empty NODATA).
+  kNxDomain,  ///< Name does not exist.
+  kTimeout,   ///< Query lost / server unreachable.
+};
+
+}  // namespace v6mon::dns

@@ -1,0 +1,52 @@
+#include "dns/resolver.h"
+
+namespace v6mon::dns {
+
+Resolver::Resolver(const AuthoritativeSource& source, Options options, util::Rng rng)
+    : source_(source), options_(options), rng_(rng) {}
+
+std::string Resolver::cache_key(std::string_view name, RecordType type) {
+  std::string key(name);
+  key += '|';
+  key += record_type_name(type);
+  return key;
+}
+
+QueryResult Resolver::resolve(std::string_view name, RecordType type,
+                              std::uint32_t round) {
+  ++stats_.queries;
+
+  if (options_.cache_rounds > 0) {
+    const auto it = cache_.find(cache_key(name, type));
+    if (it != cache_.end() && round < it->second.expires_round) {
+      ++stats_.cache_hits;
+      QueryResult r = it->second.result;
+      r.from_cache = true;
+      return r;
+    }
+  }
+
+  if (options_.timeout_prob > 0.0 && rng_.chance(options_.timeout_prob)) {
+    ++stats_.timeouts;
+    QueryResult r;
+    r.rcode = Rcode::kTimeout;
+    return r;  // timeouts are not cached
+  }
+
+  QueryResult r;
+  bool exists = true;
+  r.records = source_.query(name, type, round, exists);
+  if (!exists) {
+    r.rcode = Rcode::kNxDomain;
+    ++stats_.nxdomain;
+  }
+
+  if (options_.cache_rounds > 0) {
+    cache_[cache_key(name, type)] = {round + options_.cache_rounds, r};
+  }
+  return r;
+}
+
+void Resolver::flush() { cache_.clear(); }
+
+}  // namespace v6mon::dns

@@ -1,0 +1,25 @@
+#include "dns/zone.h"
+
+namespace v6mon::dns {
+
+void ZoneDb::add(ResourceRecord record) {
+  by_name_[record.name].push_back(std::move(record));
+  ++records_;
+}
+
+std::vector<ResourceRecord> ZoneDb::query(std::string_view name, RecordType type,
+                                          std::uint32_t /*round*/, bool& exists) const {
+  const auto it = by_name_.find(name);
+  if (it == by_name_.end()) {
+    exists = false;
+    return {};
+  }
+  exists = true;
+  std::vector<ResourceRecord> out;
+  for (const ResourceRecord& r : it->second) {
+    if (r.type == type) out.push_back(r);
+  }
+  return out;
+}
+
+}  // namespace v6mon::dns

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "dns/record.h"
+
+namespace v6mon::dns {
+
+/// Source of authoritative answers. The monitor's resolver consults one
+/// of these; implementations include the explicit `ZoneDb` (tests, small
+/// scenarios) and `web::CatalogDnsBackend`, which synthesizes answers for
+/// millions of sites without materializing them.
+///
+/// `round` is the measurement round at query time — DNS content evolves
+/// as sites turn on IPv6.
+class AuthoritativeSource {
+ public:
+  virtual ~AuthoritativeSource() = default;
+
+  /// Returns records of the requested type. `exists` distinguishes
+  /// NODATA (name exists, no records of this type) from NXDOMAIN.
+  virtual std::vector<ResourceRecord> query(std::string_view name, RecordType type,
+                                            std::uint32_t round, bool& exists) const = 0;
+};
+
+/// Explicit in-memory zone database.
+class ZoneDb final : public AuthoritativeSource {
+ public:
+  void add(ResourceRecord record);
+
+  std::vector<ResourceRecord> query(std::string_view name, RecordType type,
+                                    std::uint32_t round, bool& exists) const override;
+
+  [[nodiscard]] std::size_t size() const { return records_; }
+
+ private:
+  // name -> records of all types.
+  std::map<std::string, std::vector<ResourceRecord>, std::less<>> by_name_;
+  std::size_t records_ = 0;
+};
+
+}  // namespace v6mon::dns

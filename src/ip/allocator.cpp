@@ -1,0 +1,64 @@
+#include "ip/allocator.h"
+
+#include "util/error.h"
+
+namespace v6mon::ip {
+
+Ipv4Address offset_address(Ipv4Address base, std::uint64_t index, unsigned at_length) {
+  const unsigned shift = 32 - at_length;
+  return Ipv4Address(base.value() + static_cast<std::uint32_t>(index << shift));
+}
+
+Ipv6Address offset_address(Ipv6Address base, std::uint64_t index, unsigned at_length) {
+  // Add index * 2^(128 - at_length) as a 128-bit big-endian addition.
+  Ipv6Address::Bytes b = base.bytes();
+  const unsigned shift = 128 - at_length;
+  // The increment touches bytes around bit position (127 - shift).
+  // Perform byte-wise addition of (index << shift) over the 16-byte value.
+  unsigned carry = 0;
+  for (int byte_i = 15; byte_i >= 0; --byte_i) {
+    const unsigned bit_lo = static_cast<unsigned>(15 - byte_i) * 8;  // weight of this byte
+    std::uint64_t add = 0;
+    if (bit_lo + 8 > shift && bit_lo < shift + 64) {
+      // Bits of (index << shift) overlapping this byte.
+      if (bit_lo >= shift) {
+        const unsigned rel = bit_lo - shift;
+        add = rel < 64 ? (index >> rel) & 0xff : 0;
+      } else {
+        const unsigned rel = shift - bit_lo;  // 1..7
+        add = (index << rel) & 0xff;
+      }
+    }
+    const unsigned sum = b[static_cast<unsigned>(byte_i)] + static_cast<unsigned>(add) + carry;
+    b[static_cast<unsigned>(byte_i)] = static_cast<std::uint8_t>(sum & 0xff);
+    carry = sum >> 8;
+  }
+  return Ipv6Address(b);
+}
+
+template <typename Addr>
+PrefixAllocator<Addr>::PrefixAllocator(Prefix<Addr> pool, unsigned sub_length)
+    : pool_(pool), sub_length_(sub_length) {
+  if (sub_length < pool.length() || sub_length > Addr::kBits) {
+    throw ConfigError("sub_length " + std::to_string(sub_length) +
+                      " invalid for pool " + pool.to_string());
+  }
+  const unsigned delta = sub_length - pool.length();
+  capacity_ = delta >= 63 ? (std::uint64_t{1} << 63) : (std::uint64_t{1} << delta);
+}
+
+template <typename Addr>
+Prefix<Addr> PrefixAllocator<Addr>::allocate() {
+  if (next_ >= capacity_) {
+    throw Error("prefix pool " + pool_.to_string() + " exhausted after " +
+                std::to_string(next_) + " allocations");
+  }
+  const Addr net = offset_address(pool_.network(), next_, sub_length_);
+  ++next_;
+  return Prefix<Addr>(net, sub_length_);
+}
+
+template class PrefixAllocator<Ipv4Address>;
+template class PrefixAllocator<Ipv6Address>;
+
+}  // namespace v6mon::ip

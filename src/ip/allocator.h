@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "ip/prefix.h"
+
+namespace v6mon::ip {
+
+/// Hands out consecutive, disjoint sub-prefixes of a fixed length from a
+/// parent pool — a toy Regional Internet Registry. Used by the topology's
+/// address plan to give every AS its own IPv4 and IPv6 blocks, and to
+/// carve host addresses out of an AS's block for web servers.
+template <typename Addr>
+class PrefixAllocator {
+ public:
+  /// `pool` is the parent block; `sub_length` the length of each
+  /// allocation (must be >= pool.length()).
+  PrefixAllocator(Prefix<Addr> pool, unsigned sub_length);
+
+  /// Allocate the next sub-prefix. Throws Error when the pool is exhausted.
+  Prefix<Addr> allocate();
+
+  /// Number of allocations handed out so far.
+  [[nodiscard]] std::uint64_t allocated() const { return next_; }
+
+  /// Total capacity (caps at 2^63 to stay in uint64 range).
+  [[nodiscard]] std::uint64_t capacity() const { return capacity_; }
+
+  [[nodiscard]] const Prefix<Addr>& pool() const { return pool_; }
+  [[nodiscard]] unsigned sub_length() const { return sub_length_; }
+
+ private:
+  Prefix<Addr> pool_;
+  unsigned sub_length_;
+  std::uint64_t next_ = 0;
+  std::uint64_t capacity_;
+};
+
+/// Offset an address by `index` in units of 2^(kBits - at_length) — i.e.
+/// step to the index-th sub-block of the given length.
+[[nodiscard]] Ipv4Address offset_address(Ipv4Address base, std::uint64_t index,
+                                         unsigned at_length);
+[[nodiscard]] Ipv6Address offset_address(Ipv6Address base, std::uint64_t index,
+                                         unsigned at_length);
+
+using Ipv4Allocator = PrefixAllocator<Ipv4Address>;
+using Ipv6Allocator = PrefixAllocator<Ipv6Address>;
+
+extern template class PrefixAllocator<Ipv4Address>;
+extern template class PrefixAllocator<Ipv6Address>;
+
+}  // namespace v6mon::ip

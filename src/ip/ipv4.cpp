@@ -1,0 +1,51 @@
+#include "ip/ipv4.h"
+
+#include <cstdio>
+
+#include "util/error.h"
+
+namespace v6mon::ip {
+
+std::optional<Ipv4Address> Ipv4Address::parse(std::string_view text) {
+  std::uint32_t value = 0;
+  int octets = 0;
+  std::size_t i = 0;
+  while (octets < 4) {
+    if (i >= text.size()) return std::nullopt;
+    // Parse one decimal octet with no leading zeros (except "0" itself).
+    if (text[i] < '0' || text[i] > '9') return std::nullopt;
+    std::uint32_t octet = 0;
+    std::size_t digits = 0;
+    const bool leading_zero = text[i] == '0';
+    while (i < text.size() && text[i] >= '0' && text[i] <= '9') {
+      octet = octet * 10 + static_cast<std::uint32_t>(text[i] - '0');
+      ++digits;
+      ++i;
+      if (digits > 3 || octet > 255) return std::nullopt;
+    }
+    if (leading_zero && digits > 1) return std::nullopt;
+    value = (value << 8) | octet;
+    ++octets;
+    if (octets < 4) {
+      if (i >= text.size() || text[i] != '.') return std::nullopt;
+      ++i;
+    }
+  }
+  if (i != text.size()) return std::nullopt;
+  return Ipv4Address(value);
+}
+
+Ipv4Address Ipv4Address::parse_or_throw(std::string_view text) {
+  auto addr = parse(text);
+  if (!addr) throw ParseError("invalid IPv4 address: '" + std::string(text) + "'");
+  return *addr;
+}
+
+std::string Ipv4Address::to_string() const {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", (value_ >> 24) & 0xff,
+                (value_ >> 16) & 0xff, (value_ >> 8) & 0xff, value_ & 0xff);
+  return buf;
+}
+
+}  // namespace v6mon::ip

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace v6mon::ip {
+
+/// IPv4 address value type. Stored host-order for easy arithmetic.
+class Ipv4Address {
+ public:
+  constexpr Ipv4Address() = default;
+  constexpr explicit Ipv4Address(std::uint32_t value) : value_(value) {}
+  constexpr Ipv4Address(std::uint8_t a, std::uint8_t b, std::uint8_t c, std::uint8_t d)
+      : value_((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+               (std::uint32_t{c} << 8) | std::uint32_t{d}) {}
+
+  /// Parse dotted-quad notation. Rejects leading zeros ("01.2.3.4"),
+  /// out-of-range octets, and trailing garbage.
+  static std::optional<Ipv4Address> parse(std::string_view text);
+
+  /// Parse or throw ParseError.
+  static Ipv4Address parse_or_throw(std::string_view text);
+
+  [[nodiscard]] constexpr std::uint32_t value() const { return value_; }
+  [[nodiscard]] std::string to_string() const;
+
+  /// Extract the i-th bit from the top (bit 0 = most significant).
+  [[nodiscard]] constexpr bool bit(unsigned i) const {
+    return (value_ >> (31u - i)) & 1u;
+  }
+
+  static constexpr unsigned kBits = 32;
+
+  friend constexpr auto operator<=>(const Ipv4Address&, const Ipv4Address&) = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+}  // namespace v6mon::ip

@@ -1,0 +1,178 @@
+#include "ip/ipv6.h"
+
+#include <cstdio>
+
+#include "util/error.h"
+
+namespace v6mon::ip {
+
+namespace {
+
+int hex_digit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+Ipv6Address Ipv6Address::from_groups(const std::array<std::uint16_t, 8>& groups) {
+  Bytes b{};
+  for (unsigned i = 0; i < 8; ++i) {
+    b[2 * i] = static_cast<std::uint8_t>(groups[i] >> 8);
+    b[2 * i + 1] = static_cast<std::uint8_t>(groups[i] & 0xff);
+  }
+  return Ipv6Address(b);
+}
+
+Ipv6Address Ipv6Address::from_6to4(Ipv4Address v4) {
+  Bytes b{};
+  b[0] = 0x20;
+  b[1] = 0x02;
+  const std::uint32_t v = v4.value();
+  b[2] = static_cast<std::uint8_t>(v >> 24);
+  b[3] = static_cast<std::uint8_t>(v >> 16);
+  b[4] = static_cast<std::uint8_t>(v >> 8);
+  b[5] = static_cast<std::uint8_t>(v);
+  return Ipv6Address(b);
+}
+
+std::uint16_t Ipv6Address::group(unsigned i) const {
+  return static_cast<std::uint16_t>((std::uint16_t{bytes_[2 * i]} << 8) |
+                                    bytes_[2 * i + 1]);
+}
+
+bool Ipv6Address::is_6to4() const { return bytes_[0] == 0x20 && bytes_[1] == 0x02; }
+
+Ipv4Address Ipv6Address::embedded_6to4_v4() const {
+  return Ipv4Address((std::uint32_t{bytes_[2]} << 24) | (std::uint32_t{bytes_[3]} << 16) |
+                     (std::uint32_t{bytes_[4]} << 8) | std::uint32_t{bytes_[5]});
+}
+
+std::optional<Ipv6Address> Ipv6Address::parse(std::string_view text) {
+  // Up to 8 groups; `::` expands to the missing run of zero groups.
+  std::array<std::uint16_t, 8> head{};
+  std::array<std::uint16_t, 8> tail{};
+  unsigned n_head = 0, n_tail = 0;
+  bool seen_compress = false;
+  std::size_t i = 0;
+
+  if (text.empty()) return std::nullopt;
+
+  // Leading "::".
+  if (text.size() >= 2 && text[0] == ':' && text[1] == ':') {
+    seen_compress = true;
+    i = 2;
+    if (i == text.size()) return Ipv6Address{};  // "::"
+  } else if (text[0] == ':') {
+    return std::nullopt;  // single leading colon
+  }
+
+  auto push_group = [&](std::uint16_t g) -> bool {
+    if (seen_compress) {
+      if (n_head + n_tail >= 7) return false;  // '::' must cover >= 1 group
+      tail[n_tail++] = g;
+    } else {
+      if (n_head >= 8) return false;
+      head[n_head++] = g;
+    }
+    return true;
+  };
+
+  while (i < text.size()) {
+    // Try an embedded IPv4 dotted-quad tail: it must be the final token.
+    const std::size_t next_colon = text.find(':', i);
+    const std::string_view token =
+        text.substr(i, next_colon == std::string_view::npos ? text.size() - i
+                                                            : next_colon - i);
+    if (token.find('.') != std::string_view::npos) {
+      if (next_colon != std::string_view::npos) return std::nullopt;
+      auto v4 = Ipv4Address::parse(token);
+      if (!v4) return std::nullopt;
+      const std::uint32_t v = v4->value();
+      if (!push_group(static_cast<std::uint16_t>(v >> 16))) return std::nullopt;
+      if (!push_group(static_cast<std::uint16_t>(v & 0xffff))) return std::nullopt;
+      i = text.size();
+      break;
+    }
+
+    // Hex group: 1-4 hex digits.
+    if (token.empty() || token.size() > 4) return std::nullopt;
+    std::uint16_t g = 0;
+    for (char c : token) {
+      const int d = hex_digit(c);
+      if (d < 0) return std::nullopt;
+      g = static_cast<std::uint16_t>((g << 4) | static_cast<unsigned>(d));
+    }
+    if (!push_group(g)) return std::nullopt;
+    i += token.size();
+
+    if (i == text.size()) break;
+    // Separator: ':' or '::'.
+    if (text[i] != ':') return std::nullopt;
+    ++i;
+    if (i < text.size() && text[i] == ':') {
+      if (seen_compress) return std::nullopt;
+      seen_compress = true;
+      ++i;
+      if (i == text.size()) break;  // trailing "::"
+    } else if (i == text.size()) {
+      return std::nullopt;  // trailing single ':'
+    }
+  }
+
+  if (!seen_compress && n_head != 8) return std::nullopt;
+  if (seen_compress && n_head + n_tail >= 8) return std::nullopt;
+
+  std::array<std::uint16_t, 8> groups{};
+  for (unsigned k = 0; k < n_head; ++k) groups[k] = head[k];
+  for (unsigned k = 0; k < n_tail; ++k) groups[8 - n_tail + k] = tail[k];
+  return from_groups(groups);
+}
+
+Ipv6Address Ipv6Address::parse_or_throw(std::string_view text) {
+  auto addr = parse(text);
+  if (!addr) throw ParseError("invalid IPv6 address: '" + std::string(text) + "'");
+  return *addr;
+}
+
+std::string Ipv6Address::to_string() const {
+  // RFC 5952: find the longest run of >=2 zero groups, leftmost on ties.
+  std::array<std::uint16_t, 8> g{};
+  for (unsigned i = 0; i < 8; ++i) g[i] = group(i);
+
+  int best_start = -1, best_len = 0;
+  for (int i = 0; i < 8;) {
+    if (g[static_cast<unsigned>(i)] != 0) {
+      ++i;
+      continue;
+    }
+    int j = i;
+    while (j < 8 && g[static_cast<unsigned>(j)] == 0) ++j;
+    if (j - i > best_len) {
+      best_start = i;
+      best_len = j - i;
+    }
+    i = j;
+  }
+  if (best_len < 2) best_start = -1;
+
+  std::string s;
+  s.reserve(40);
+  char buf[8];
+  for (int i = 0; i < 8;) {
+    if (i == best_start) {
+      s += "::";
+      i += best_len;
+      continue;
+    }
+    if (!s.empty() && s.back() != ':') s += ':';
+    std::snprintf(buf, sizeof(buf), "%x", g[static_cast<unsigned>(i)]);
+    s += buf;
+    ++i;
+  }
+  return s;
+}
+
+}  // namespace v6mon::ip

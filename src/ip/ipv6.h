@@ -1,0 +1,60 @@
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "ip/ipv4.h"
+
+namespace v6mon::ip {
+
+/// IPv6 address value type (16 bytes, network order).
+///
+/// Parsing and formatting implement RFC 4291 §2.2 text forms, including
+/// `::` zero-compression and embedded dotted-quad tails
+/// ("::ffff:192.0.2.1"), and RFC 5952 canonical output (lower-case hex,
+/// longest zero run compressed, ties broken to the left, no 1-group runs
+/// compressed).
+class Ipv6Address {
+ public:
+  using Bytes = std::array<std::uint8_t, 16>;
+
+  constexpr Ipv6Address() : bytes_{} {}
+  constexpr explicit Ipv6Address(const Bytes& bytes) : bytes_(bytes) {}
+
+  /// Build from eight 16-bit groups (as written in text form).
+  static Ipv6Address from_groups(const std::array<std::uint16_t, 8>& groups);
+
+  /// Build a 6to4 address (2002::/16 with the IPv4 address in bits 16..47,
+  /// RFC 3056).
+  static Ipv6Address from_6to4(Ipv4Address v4);
+
+  static std::optional<Ipv6Address> parse(std::string_view text);
+  static Ipv6Address parse_or_throw(std::string_view text);
+
+  [[nodiscard]] const Bytes& bytes() const { return bytes_; }
+  [[nodiscard]] std::uint16_t group(unsigned i) const;
+  [[nodiscard]] std::string to_string() const;
+
+  /// Extract the i-th bit from the top (bit 0 = most significant).
+  [[nodiscard]] bool bit(unsigned i) const {
+    return (bytes_[i / 8] >> (7u - i % 8)) & 1u;
+  }
+
+  /// True for addresses in 2002::/16 (6to4, RFC 3056).
+  [[nodiscard]] bool is_6to4() const;
+  /// Extract the embedded IPv4 address of a 6to4 address. Requires is_6to4().
+  [[nodiscard]] Ipv4Address embedded_6to4_v4() const;
+
+  static constexpr unsigned kBits = 128;
+
+  friend auto operator<=>(const Ipv6Address&, const Ipv6Address&) = default;
+
+ private:
+  Bytes bytes_;
+};
+
+}  // namespace v6mon::ip

@@ -1,0 +1,77 @@
+#include "ip/prefix.h"
+
+#include <charconv>
+
+#include "util/error.h"
+
+namespace v6mon::ip {
+
+Ipv4Address mask_address(Ipv4Address a, unsigned length) {
+  if (length >= 32) return a;
+  if (length == 0) return Ipv4Address(0);
+  const std::uint32_t mask = ~std::uint32_t{0} << (32 - length);
+  return Ipv4Address(a.value() & mask);
+}
+
+Ipv6Address mask_address(Ipv6Address a, unsigned length) {
+  if (length >= 128) return a;
+  Ipv6Address::Bytes b = a.bytes();
+  const unsigned full = length / 8;
+  const unsigned rem = length % 8;
+  if (full < 16 && rem != 0) {
+    b[full] = static_cast<std::uint8_t>(b[full] & (0xffu << (8 - rem)));
+  }
+  for (unsigned i = full + (rem ? 1 : 0); i < 16; ++i) b[i] = 0;
+  return Ipv6Address(b);
+}
+
+template <typename Addr>
+Prefix<Addr>::Prefix(Addr network, unsigned length)
+    : network_(mask_address(network, length)), length_(length) {
+  if (length > Addr::kBits) {
+    throw ConfigError("prefix length " + std::to_string(length) + " exceeds " +
+                      std::to_string(Addr::kBits));
+  }
+}
+
+template <typename Addr>
+std::optional<Prefix<Addr>> Prefix<Addr>::parse(std::string_view text) {
+  const std::size_t slash = text.rfind('/');
+  if (slash == std::string_view::npos) return std::nullopt;
+  auto addr = Addr::parse(text.substr(0, slash));
+  if (!addr) return std::nullopt;
+  const std::string_view len_text = text.substr(slash + 1);
+  unsigned length = 0;
+  const auto [ptr, ec] =
+      std::from_chars(len_text.data(), len_text.data() + len_text.size(), length);
+  if (ec != std::errc{} || ptr != len_text.data() + len_text.size()) return std::nullopt;
+  if (length > Addr::kBits) return std::nullopt;
+  return Prefix(*addr, length);
+}
+
+template <typename Addr>
+Prefix<Addr> Prefix<Addr>::parse_or_throw(std::string_view text) {
+  auto p = parse(text);
+  if (!p) throw ParseError("invalid prefix: '" + std::string(text) + "'");
+  return *p;
+}
+
+template <typename Addr>
+bool Prefix<Addr>::contains(const Addr& addr) const {
+  return mask_address(addr, length_) == network_;
+}
+
+template <typename Addr>
+bool Prefix<Addr>::contains(const Prefix& other) const {
+  return other.length_ >= length_ && contains(other.network_);
+}
+
+template <typename Addr>
+std::string Prefix<Addr>::to_string() const {
+  return network_.to_string() + "/" + std::to_string(length_);
+}
+
+template class Prefix<Ipv4Address>;
+template class Prefix<Ipv6Address>;
+
+}  // namespace v6mon::ip

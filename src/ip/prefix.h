@@ -1,0 +1,61 @@
+#pragma once
+
+#include <compare>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "ip/ipv4.h"
+#include "ip/ipv6.h"
+
+namespace v6mon::ip {
+
+/// Address family discriminator used throughout the library.
+enum class Family { kIpv4, kIpv6 };
+
+[[nodiscard]] constexpr const char* family_name(Family f) {
+  return f == Family::kIpv4 ? "IPv4" : "IPv6";
+}
+
+/// CIDR prefix over an address type. The network address is stored
+/// canonicalized (host bits zeroed), so two prefixes written differently
+/// but denoting the same network compare equal.
+template <typename Addr>
+class Prefix {
+ public:
+  constexpr Prefix() = default;
+  /// Canonicalizes: bits past `length` are cleared.
+  Prefix(Addr network, unsigned length);
+
+  /// Parse "addr/len". Rejects length > Addr::kBits and garbage.
+  static std::optional<Prefix> parse(std::string_view text);
+  static Prefix parse_or_throw(std::string_view text);
+
+  [[nodiscard]] const Addr& network() const { return network_; }
+  [[nodiscard]] unsigned length() const { return length_; }
+
+  /// True if `addr` falls inside this prefix.
+  [[nodiscard]] bool contains(const Addr& addr) const;
+  /// True if `other` is equal to or more specific than this prefix.
+  [[nodiscard]] bool contains(const Prefix& other) const;
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend auto operator<=>(const Prefix&, const Prefix&) = default;
+
+ private:
+  Addr network_{};
+  unsigned length_ = 0;
+};
+
+using Ipv4Prefix = Prefix<Ipv4Address>;
+using Ipv6Prefix = Prefix<Ipv6Address>;
+
+/// Zero out bits past `length` — canonical network address.
+[[nodiscard]] Ipv4Address mask_address(Ipv4Address a, unsigned length);
+[[nodiscard]] Ipv6Address mask_address(Ipv6Address a, unsigned length);
+
+extern template class Prefix<Ipv4Address>;
+extern template class Prefix<Ipv6Address>;
+
+}  // namespace v6mon::ip

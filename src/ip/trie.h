@@ -1,0 +1,139 @@
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "ip/prefix.h"
+
+namespace v6mon::ip {
+
+/// Binary (path-uncompressed) trie keyed by CIDR prefixes, providing
+/// longest-prefix-match lookups — the core data structure of a routing
+/// table (FIB). Insertion of a duplicate prefix overwrites its value.
+///
+/// The trie is deliberately simple: forwarding tables in this simulator
+/// hold thousands (not millions) of routes and lookups walk at most
+/// `Addr::kBits` nodes. A production FIB would use path compression or a
+/// multibit stride; tests include an oracle comparison so swapping the
+/// implementation later is safe.
+template <typename Addr, typename Value>
+class PrefixTrie {
+ public:
+  using PrefixT = Prefix<Addr>;
+
+  PrefixTrie() : root_(std::make_unique<Node>()) {}
+
+  /// Insert or overwrite. Returns true if a new prefix was added, false
+  /// if an existing value was replaced.
+  bool insert(const PrefixT& prefix, Value value) {
+    Node* node = walk_to(prefix, /*create=*/true);
+    const bool fresh = !node->value.has_value();
+    node->value = std::move(value);
+    if (fresh) ++size_;
+    return fresh;
+  }
+
+  /// Remove a prefix. Returns true if it was present. (Nodes are not
+  /// garbage-collected; removal is rare in our workloads.)
+  bool erase(const PrefixT& prefix) {
+    Node* node = walk_to(prefix, /*create=*/false);
+    if (node == nullptr || !node->value.has_value()) return false;
+    node->value.reset();
+    --size_;
+    return true;
+  }
+
+  /// Exact-match lookup.
+  [[nodiscard]] const Value* find(const PrefixT& prefix) const {
+    const Node* node = const_cast<PrefixTrie*>(this)->walk_to(prefix, false);
+    if (node == nullptr || !node->value.has_value()) return nullptr;
+    return &*node->value;
+  }
+
+  /// Longest-prefix match for an address; nullptr when nothing covers it.
+  [[nodiscard]] const Value* lookup(const Addr& addr) const {
+    const Node* node = root_.get();
+    const Value* best = node->value ? &*node->value : nullptr;
+    for (unsigned depth = 0; depth < Addr::kBits && node != nullptr; ++depth) {
+      node = addr.bit(depth) ? node->one.get() : node->zero.get();
+      if (node != nullptr && node->value) best = &*node->value;
+    }
+    return best;
+  }
+
+  /// Longest-prefix match returning the matched prefix as well.
+  [[nodiscard]] std::optional<std::pair<PrefixT, Value>> lookup_entry(
+      const Addr& addr) const {
+    const Node* node = root_.get();
+    const Node* best = node->value ? node : nullptr;
+    unsigned best_depth = 0;
+    for (unsigned depth = 0; depth < Addr::kBits && node != nullptr; ++depth) {
+      node = addr.bit(depth) ? node->one.get() : node->zero.get();
+      if (node != nullptr && node->value) {
+        best = node;
+        best_depth = depth + 1;
+      }
+    }
+    if (best == nullptr) return std::nullopt;
+    return std::make_pair(PrefixT(mask_address(addr, best_depth), best_depth),
+                          *best->value);
+  }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+
+  /// Visit every (prefix, value) pair in lexicographic bit order.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    Addr scratch{};
+    visit(root_.get(), scratch, 0, fn);
+  }
+
+ private:
+  struct Node {
+    std::unique_ptr<Node> zero;
+    std::unique_ptr<Node> one;
+    std::optional<Value> value;
+  };
+
+  Node* walk_to(const PrefixT& prefix, bool create) {
+    Node* node = root_.get();
+    for (unsigned depth = 0; depth < prefix.length(); ++depth) {
+      std::unique_ptr<Node>& next =
+          prefix.network().bit(depth) ? node->one : node->zero;
+      if (!next) {
+        if (!create) return nullptr;
+        next = std::make_unique<Node>();
+      }
+      node = next.get();
+    }
+    return node;
+  }
+
+  template <typename Fn>
+  void visit(const Node* node, Addr& bits, unsigned depth, Fn& fn) const {
+    if (node == nullptr) return;
+    if (node->value) fn(PrefixT(bits, depth), *node->value);
+    if (depth == Addr::kBits) return;
+    visit(node->zero.get(), bits, depth + 1, fn);
+    Addr with_bit = set_bit(bits, depth);
+    visit(node->one.get(), with_bit, depth + 1, fn);
+  }
+
+  static Ipv4Address set_bit(Ipv4Address a, unsigned depth) {
+    return Ipv4Address(a.value() | (std::uint32_t{1} << (31 - depth)));
+  }
+  static Ipv6Address set_bit(Ipv6Address a, unsigned depth) {
+    auto b = a.bytes();
+    b[depth / 8] |= static_cast<std::uint8_t>(1u << (7 - depth % 8));
+    return Ipv6Address(b);
+  }
+
+  std::unique_ptr<Node> root_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace v6mon::ip

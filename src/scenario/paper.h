@@ -1,0 +1,39 @@
+#pragma once
+
+#include "core/campaign.h"
+#include "scenario/world_builder.h"
+
+namespace v6mon::scenario {
+
+/// Calendar anchors of the paper's campaign, as round indices. One round
+/// ~ one to two weeks; round 0 = Oct 2010 (start of Fig. 1's window; the
+/// Penn monitor predates it and is simply active from round 0).
+struct PaperCalendar {
+  std::uint32_t num_rounds = 40;
+  std::uint32_t iana_depletion_round = 16;  ///< Feb 3, 2011.
+  std::uint32_t w6d_round = 34;             ///< June 8, 2011.
+};
+
+/// Scale factor: 1.0 builds the default reproduction world (hundreds of
+/// thousands of sites, thousands of ASes); smaller values shrink both for
+/// quick tests.
+[[nodiscard]] WorldSpec paper_spec(std::uint64_t seed, double scale = 1.0);
+
+/// Convenience: build the paper world.
+[[nodiscard]] core::World build_paper_world(std::uint64_t seed, double scale = 1.0);
+
+/// The default monitoring configuration (paper constants: 6% identity,
+/// 10%/95% CI target, <=25 parallel sites).
+[[nodiscard]] core::CampaignConfig paper_campaign_config(std::uint64_t seed);
+
+/// Indices of the four AS_PATH-capable vantage points in paper order
+/// (Penn, Comcast, LU, UPCB) within the world's vantage_points vector.
+struct PaperVps {
+  std::size_t penn = 0;
+  std::size_t comcast = 0;
+  std::size_t lu = 0;
+  std::size_t upcb = 0;
+};
+[[nodiscard]] PaperVps paper_vp_indices(const core::World& world);
+
+}  // namespace v6mon::scenario

@@ -1,0 +1,93 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/world.h"
+#include "topo/generator.h"
+#include "web/catalog.h"
+
+namespace v6mon::scenario {
+
+/// How a vantage point's IPv6 connectivity relates to its IPv4 upstreams.
+/// This is the per-VP lever behind the paper's Table 4 spread (Penn is
+/// almost all DP; LU/UPCB mostly SP):
+enum class V6UplinkMode {
+  /// Every IPv4 provider link also carries IPv6 (full first-hop parity).
+  kSameProviders,
+  /// Only one of the IPv4 providers carries IPv6.
+  kSubsetProviders,
+  /// IPv6 rides a *different* dedicated provider (e.g. an academic IPv6
+  /// network): first hops always diverge.
+  kSeparateProvider,
+};
+
+/// Specification of one vantage point to attach to the generated graph.
+struct VantageSpec {
+  std::string name;
+  core::VantagePoint::Type type = core::VantagePoint::Type::kAcademic;
+  topo::Region region = topo::Region::kNorthAmerica;
+  std::uint32_t start_round = 0;
+  bool has_as_path = false;
+  bool whitelisted = false;
+  bool uses_dns_cache_supplement = false;
+  int num_v4_providers = 2;
+  V6UplinkMode v6_mode = V6UplinkMode::kSameProviders;
+  /// For kSubsetProviders: which of the chosen providers (0 = best
+  /// connected) carries IPv6; -1 = the last (weakest) choice. The weaker
+  /// the IPv6-carrying upstream, the rarer first-hop agreement — i.e. the
+  /// smaller the vantage point's SP share.
+  int v6_provider_rank = -1;
+  /// If >= 0, the last chosen provider is replaced by the candidate at
+  /// this rank in the region's provider list — a deliberately *weak*
+  /// upstream. Homing IPv6 on it (v6_provider_rank = -1) models an
+  /// early-IPv6 academic/niche upstream that IPv4 best paths rarely use.
+  int weak_provider_rank = -1;
+};
+
+/// Everything needed to build a World.
+struct WorldSpec {
+  std::uint64_t seed = 2011;
+  topo::TopologyParams topology;
+  topo::AddressPlanParams addresses;
+  web::CatalogParams catalog;
+  std::vector<VantageSpec> vantage_points;
+
+  /// IPv6-over-IPv4 tunnel overlay for v6 islands (6to4 / brokers).
+  bool tunnels = true;
+  double tunnel_extra_latency_ms = 15.0;
+  double tunnel_bandwidth_factor = 0.85;
+  std::size_t tunnel_relays = 4;
+
+  /// Round of World IPv6 Day (catalog.w6d_round is kept in sync).
+  std::uint32_t w6d_round = web::kNever;
+};
+
+/// Assemble a complete world:
+///  1. generate the AS topology,
+///  2. attach the vantage-point ASes per their uplink specs,
+///  3. assign addresses,
+///  4. generate the site catalog,
+///  5. lay the tunnel overlay over v6 islands,
+///  6. converge BGP and fill every vantage point's RIB.
+[[nodiscard]] core::World build_world(const WorldSpec& spec);
+
+/// Statistics of the tunnel overlay (exposed for tests and DESIGN docs).
+struct TunnelStats {
+  std::size_t islands = 0;
+  std::size_t tunnels_added = 0;
+};
+
+/// Lay tunnels for IPv6-enabled ASes with no native IPv6 route to the
+/// core: each island gets a virtual provider link to its best relay, with
+/// metrics derived from the real underlying IPv4 path. Exposed separately
+/// so tests and ablation benches can run with/without the overlay.
+TunnelStats apply_tunnel_overlay(topo::AsGraph& graph, std::size_t num_relays,
+                                 double extra_latency_ms, double bandwidth_factor,
+                                 util::Rng& rng);
+
+/// Fill every vantage point's RIB by converging BGP toward every AS that
+/// hosts content (exposed for custom scenarios).
+void build_ribs(core::World& world);
+
+}  // namespace v6mon::scenario

@@ -1,0 +1,100 @@
+#include "topo/as_graph.h"
+
+#include <cassert>
+
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace v6mon::topo {
+
+Asn AsGraph::add_as(Tier tier, Region region) {
+  const Asn asn = static_cast<Asn>(nodes_.size());
+  AsNode n;
+  n.asn = asn;
+  n.tier = tier;
+  n.region = region;
+  nodes_.push_back(std::move(n));
+  adj_.emplace_back();
+  return asn;
+}
+
+std::uint32_t AsGraph::add_link(Asn a, Asn b, Relationship rel, bool in_v4,
+                                bool in_v6, LinkMetrics metrics) {
+  if (a >= nodes_.size() || b >= nodes_.size()) {
+    throw ConfigError("add_link: ASN out of range");
+  }
+  if (a == b) throw ConfigError("add_link: self-loop on AS" + std::to_string(a));
+  const auto id = static_cast<std::uint32_t>(links_.size());
+  AsLink l;
+  l.a = a;
+  l.b = b;
+  l.rel = rel;
+  l.in_v4 = in_v4;
+  l.in_v6 = in_v6;
+  l.metrics = metrics;
+  links_.push_back(l);
+  if (rel == Relationship::kProviderCustomer) {
+    adj_[a].push_back({b, Role::kCustomer, id});
+    adj_[b].push_back({a, Role::kProvider, id});
+  } else {
+    adj_[a].push_back({b, Role::kPeer, id});
+    adj_[b].push_back({a, Role::kPeer, id});
+  }
+  return id;
+}
+
+std::uint32_t AsGraph::add_tunnel(Asn relay, Asn island, LinkMetrics underlying,
+                                  unsigned underlying_hops, double extra_latency_ms,
+                                  double bandwidth_factor) {
+  const std::uint32_t id =
+      add_link(relay, island, Relationship::kProviderCustomer,
+               /*in_v4=*/false, /*in_v6=*/true, underlying);
+  AsLink& l = links_[id];
+  l.v6_tunnel = true;
+  l.tunnel_underlying_hops = underlying_hops == 0 ? 1 : underlying_hops;
+  l.tunnel_extra_latency_ms = extra_latency_ms;
+  l.tunnel_bandwidth_factor = bandwidth_factor;
+  return id;
+}
+
+void AsGraph::enable_v6_on_link(std::uint32_t link_id) {
+  links_.at(link_id).in_v6 = true;
+}
+
+std::uint32_t AsGraph::find_link(Asn a, Asn b, ip::Family f) const {
+  for (const Adjacency& adj : adj_.at(a)) {
+    if (adj.neighbor == b && link_in_family(adj.link_id, f)) return adj.link_id;
+  }
+  return kNoLink;
+}
+
+std::vector<Asn> AsGraph::ases_of_tier(Tier tier) const {
+  std::vector<Asn> out;
+  for (const AsNode& n : nodes_) {
+    if (n.tier == tier) out.push_back(n.asn);
+  }
+  return out;
+}
+
+std::size_t AsGraph::num_v6_ases() const {
+  std::size_t n = 0;
+  for (const AsNode& node : nodes_) n += node.has_v6 ? 1 : 0;
+  return n;
+}
+
+std::size_t AsGraph::num_links_in_family(ip::Family f) const {
+  std::size_t n = 0;
+  for (const AsLink& l : links_) {
+    n += (f == ip::Family::kIpv4 ? l.in_v4 : l.in_v6) ? 1 : 0;
+  }
+  return n;
+}
+
+std::string AsGraph::summary() const {
+  return util::format(
+      "AsGraph: %zu ASes (%zu v6), %zu links (%zu v4, %zu v6)", num_ases(),
+      num_v6_ases(), num_links(), num_links_in_family(ip::Family::kIpv4),
+      num_links_in_family(ip::Family::kIpv6));
+}
+
+}  // namespace v6mon::topo

@@ -1,0 +1,160 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ip/prefix.h"
+
+namespace v6mon::topo {
+
+/// Autonomous System number. ASes are dense indices into the graph, so
+/// Asn doubles as a vector index.
+using Asn = std::uint32_t;
+inline constexpr Asn kNoAs = 0xffffffffu;
+
+/// Coarse position of an AS in the Internet hierarchy.
+enum class Tier : std::uint8_t {
+  kTier1,    ///< Settlement-free core; full peer mesh.
+  kTransit,  ///< Regional/national transit provider.
+  kStub,     ///< Edge network: enterprise, hosting, campus, eyeball.
+};
+
+[[nodiscard]] constexpr const char* tier_name(Tier t) {
+  switch (t) {
+    case Tier::kTier1: return "tier1";
+    case Tier::kTransit: return "transit";
+    case Tier::kStub: return "stub";
+  }
+  return "?";
+}
+
+/// Geographic region; drives inter-AS link latency.
+enum class Region : std::uint8_t { kNorthAmerica, kEurope, kAsia, kSouthAmerica, kOceania };
+inline constexpr int kNumRegions = 5;
+
+/// Business relationship of a link (Gao-Rexford model).
+enum class Relationship : std::uint8_t {
+  kProviderCustomer,  ///< `a` is the provider of `b`.
+  kPeerPeer,          ///< Settlement-free peering.
+};
+
+/// What a neighbor is *to me* across a link.
+enum class Role : std::uint8_t { kProvider, kCustomer, kPeer };
+
+/// Static per-link data-plane characteristics. Shared by IPv4 and IPv6
+/// when the link carries both — the structural embodiment of the paper's
+/// H1 (same forwarding hardware for both families on native links).
+struct LinkMetrics {
+  double latency_ms = 10.0;
+  double bandwidth_kBps = 1e6;  ///< kbytes/sec capacity share for one flow.
+};
+
+/// An inter-AS adjacency. A link exists in the IPv4 and/or IPv6 topology;
+/// IPv6 presence on fewer links than IPv4 is the "peering disparity" the
+/// paper identifies as the main cause of poorer IPv6 performance.
+struct AsLink {
+  Asn a = kNoAs;  ///< Provider side for kProviderCustomer.
+  Asn b = kNoAs;  ///< Customer side for kProviderCustomer.
+  Relationship rel = Relationship::kPeerPeer;
+  bool in_v4 = true;
+  bool in_v6 = false;
+  LinkMetrics metrics;
+
+  /// IPv6-over-IPv4 tunnel pseudo-link (6to4 / broker). Counts as one
+  /// AS hop in the IPv6 AS path but its data-plane cost reflects the
+  /// underlying IPv4 path plus encapsulation overhead.
+  bool v6_tunnel = false;
+  double tunnel_extra_latency_ms = 0.0;
+  double tunnel_bandwidth_factor = 1.0;
+  /// Number of underlying IPv4 AS hops the tunnel hides (>= 1).
+  unsigned tunnel_underlying_hops = 1;
+};
+
+/// Per-AS record.
+struct AsNode {
+  Asn asn = kNoAs;
+  Tier tier = Tier::kStub;
+  Region region = Region::kNorthAmerica;
+  /// AS announces IPv6 prefixes (dual-stack control plane).
+  bool has_v6 = false;
+  /// CDN network: peers widely with transit hubs, so it is only a couple
+  /// of AS hops from everywhere — and (2011) speaks no IPv6.
+  bool is_cdn = false;
+  /// Assigned address blocks (set by AddressPlan).
+  std::vector<ip::Ipv4Prefix> v4_prefixes;
+  std::vector<ip::Ipv6Prefix> v6_prefixes;
+};
+
+/// Adjacency entry as seen from one endpoint.
+struct Adjacency {
+  Asn neighbor = kNoAs;
+  Role role = Role::kPeer;  ///< What `neighbor` is to the owning AS.
+  std::uint32_t link_id = 0;
+};
+
+/// Mutable AS-level topology with per-family views.
+///
+/// Invariants: ASNs are dense [0, size); a link's endpoints are distinct
+/// and in range; at most one link per unordered AS pair (enforced by the
+/// generator, asserted here in debug builds).
+class AsGraph {
+ public:
+  /// Add an AS; returns its ASN.
+  Asn add_as(Tier tier, Region region);
+
+  /// Add a link. For kProviderCustomer, `a` is the provider.
+  /// Returns the link id.
+  std::uint32_t add_link(Asn a, Asn b, Relationship rel, bool in_v4, bool in_v6,
+                         LinkMetrics metrics);
+
+  /// Add an IPv6 tunnel pseudo-link: `relay` plays provider to `island`.
+  std::uint32_t add_tunnel(Asn relay, Asn island, LinkMetrics underlying,
+                           unsigned underlying_hops, double extra_latency_ms,
+                           double bandwidth_factor);
+
+  /// Enable IPv6 on an existing link (e.g. when modelling an upgrade).
+  void enable_v6_on_link(std::uint32_t link_id);
+
+  [[nodiscard]] std::size_t num_ases() const { return nodes_.size(); }
+  [[nodiscard]] std::size_t num_links() const { return links_.size(); }
+
+  [[nodiscard]] const AsNode& node(Asn asn) const { return nodes_.at(asn); }
+  [[nodiscard]] AsNode& node(Asn asn) { return nodes_.at(asn); }
+  [[nodiscard]] const AsLink& link(std::uint32_t id) const { return links_.at(id); }
+
+  /// Neighbors of `asn` present in the given family's topology.
+  [[nodiscard]] const std::vector<Adjacency>& adjacencies(Asn asn) const {
+    return adj_.at(asn);
+  }
+
+  /// True when the link participates in the given family.
+  [[nodiscard]] bool link_in_family(std::uint32_t link_id, ip::Family f) const {
+    const AsLink& l = links_.at(link_id);
+    return f == ip::Family::kIpv4 ? l.in_v4 : l.in_v6;
+  }
+
+  /// Id of the (unique) link between two ASes in the given family, or
+  /// kNoLink when they are not adjacent in that family.
+  static constexpr std::uint32_t kNoLink = 0xffffffffu;
+  [[nodiscard]] std::uint32_t find_link(Asn a, Asn b, ip::Family f) const;
+
+  /// All ASes of a given tier.
+  [[nodiscard]] std::vector<Asn> ases_of_tier(Tier tier) const;
+
+  /// Count of ASes announcing IPv6.
+  [[nodiscard]] std::size_t num_v6_ases() const;
+
+  /// Count of links carrying IPv6 / IPv4.
+  [[nodiscard]] std::size_t num_links_in_family(ip::Family f) const;
+
+  /// Human-readable one-line summary for logs.
+  [[nodiscard]] std::string summary() const;
+
+ private:
+  std::vector<AsNode> nodes_;
+  std::vector<AsLink> links_;
+  std::vector<std::vector<Adjacency>> adj_;
+};
+
+}  // namespace v6mon::topo

@@ -1,0 +1,286 @@
+#include "topo/generator.h"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+#include "util/error.h"
+
+namespace v6mon::topo {
+
+namespace {
+
+Region random_region(util::Rng& rng) {
+  return static_cast<Region>(rng.uniform_int(0, kNumRegions - 1));
+}
+
+double adoption_for(const Ipv6Profile& p, Tier t) {
+  switch (t) {
+    case Tier::kTier1: return p.tier1_adoption;
+    case Tier::kTransit: return p.transit_adoption;
+    case Tier::kStub: return p.stub_adoption;
+  }
+  return 0.0;
+}
+
+/// Weighted pick by (degree + 1) — preferential attachment.
+Asn pick_preferential(const std::vector<Asn>& candidates,
+                      const std::vector<std::size_t>& degree, util::Rng& rng) {
+  std::size_t total = 0;
+  for (Asn a : candidates) total += degree[a] + 1;
+  std::uint64_t ticket = rng.uniform_u64(0, total - 1);
+  for (Asn a : candidates) {
+    const std::size_t w = degree[a] + 1;
+    if (ticket < w) return a;
+    ticket -= w;
+  }
+  return candidates.back();
+}
+
+}  // namespace
+
+LinkMetrics draw_link_metrics(const TopologyParams& params, const AsNode& a,
+                              const AsNode& b, Relationship rel, util::Rng& rng) {
+  LinkMetrics m;
+  if (a.region == b.region) {
+    m.latency_ms = rng.uniform(params.latency_same_region_lo,
+                               params.latency_same_region_hi);
+  } else {
+    m.latency_ms = rng.uniform(params.latency_cross_region_lo,
+                               params.latency_cross_region_hi);
+  }
+  // Peering is a direct IX shortcut; provider transit takes the long way.
+  if (rel == Relationship::kPeerPeer) m.latency_ms *= params.peer_latency_factor;
+  const Tier lower = std::max(a.tier, b.tier);  // enum order: tier1 < transit < stub
+  switch (lower) {
+    case Tier::kTier1:
+      m.bandwidth_kBps = params.bw_core_kBps;
+      break;
+    case Tier::kTransit:
+      m.bandwidth_kBps = params.bw_transit_kBps;
+      break;
+    case Tier::kStub:
+      m.bandwidth_kBps = rng.lognormal_median(params.bw_stub_median_kBps,
+                                              params.bw_stub_sigma);
+      break;
+  }
+  return m;
+}
+
+AsGraph generate_topology(const TopologyParams& params, util::Rng& rng) {
+  if (params.num_tier1 < 2) throw ConfigError("need at least 2 tier-1 ASes");
+  if (params.transit_providers_min < 1 || params.stub_providers_min < 1) {
+    throw ConfigError("every non-tier1 AS needs at least one provider");
+  }
+
+  AsGraph g;
+  util::Rng link_rng = rng.child("links");
+
+  // --- Tier-1 clique ---------------------------------------------------
+  std::vector<Asn> tier1;
+  for (std::size_t i = 0; i < params.num_tier1; ++i) {
+    const Region r = static_cast<Region>(i % kNumRegions);
+    tier1.push_back(g.add_as(Tier::kTier1, r));
+  }
+  for (std::size_t i = 0; i < tier1.size(); ++i) {
+    for (std::size_t j = i + 1; j < tier1.size(); ++j) {
+      const LinkMetrics m =
+          draw_link_metrics(params, g.node(tier1[i]), g.node(tier1[j]), Relationship::kPeerPeer, link_rng);
+      g.add_link(tier1[i], tier1[j], Relationship::kPeerPeer, true, false, m);
+    }
+  }
+
+  // --- Transit ASes -----------------------------------------------------
+  std::vector<std::size_t> degree(params.num_tier1 + params.num_transit +
+                                      params.num_stub,
+                                  0);
+  for (Asn t : tier1) degree[t] = tier1.size() - 1;
+
+  std::vector<Asn> transits;
+  std::set<std::pair<Asn, Asn>> linked;  // unordered pair, min first
+  auto mark = [&linked](Asn a, Asn b) {
+    return linked.insert({std::min(a, b), std::max(a, b)}).second;
+  };
+
+  for (std::size_t i = 0; i < params.num_transit; ++i) {
+    const Asn asn = g.add_as(Tier::kTransit, random_region(rng));
+    const int want = rng.uniform_int(params.transit_providers_min,
+                                     params.transit_providers_max);
+    int got = 0;
+    for (int attempt = 0; attempt < want * 6 && got < want; ++attempt) {
+      Asn provider;
+      if (transits.empty() || rng.chance(params.transit_prefers_tier1)) {
+        provider = pick_preferential(tier1, degree, rng);
+      } else {
+        provider = pick_preferential(transits, degree, rng);
+      }
+      if (provider == asn || !mark(provider, asn)) continue;
+      const LinkMetrics m =
+          draw_link_metrics(params, g.node(provider), g.node(asn), Relationship::kProviderCustomer, link_rng);
+      g.add_link(provider, asn, Relationship::kProviderCustomer, true, false, m);
+      ++degree[provider];
+      ++degree[asn];
+      ++got;
+    }
+    if (got == 0) {
+      // Guarantee connectivity: fall back to a fixed tier-1.
+      const Asn provider = tier1[asn % tier1.size()];
+      if (mark(provider, asn)) {
+        const LinkMetrics m =
+            draw_link_metrics(params, g.node(provider), g.node(asn), Relationship::kProviderCustomer, link_rng);
+        g.add_link(provider, asn, Relationship::kProviderCustomer, true, false, m);
+        ++degree[provider];
+        ++degree[asn];
+      }
+    }
+    transits.push_back(asn);
+  }
+
+  // --- Transit peering ---------------------------------------------------
+  for (std::size_t i = 0; i < transits.size(); ++i) {
+    for (std::size_t j = i + 1; j < transits.size(); ++j) {
+      const AsNode& a = g.node(transits[i]);
+      const AsNode& b = g.node(transits[j]);
+      const double p = a.region == b.region ? params.transit_peering_same_region
+                                            : params.transit_peering_cross_region;
+      if (!rng.chance(p)) continue;
+      if (!mark(a.asn, b.asn)) continue;
+      const LinkMetrics m = draw_link_metrics(params, a, b, Relationship::kPeerPeer, link_rng);
+      g.add_link(a.asn, b.asn, Relationship::kPeerPeer, true, false, m);
+      ++degree[a.asn];
+      ++degree[b.asn];
+    }
+  }
+
+  // --- Stub ASes ----------------------------------------------------------
+  // Group transits by region for locality-biased homing.
+  std::vector<std::vector<Asn>> transits_by_region(kNumRegions);
+  for (Asn t : transits) {
+    transits_by_region[static_cast<std::size_t>(g.node(t).region)].push_back(t);
+  }
+
+  for (std::size_t i = 0; i < params.num_stub; ++i) {
+    const Region region = random_region(rng);
+    const Asn asn = g.add_as(Tier::kStub, region);
+    const int want =
+        rng.uniform_int(params.stub_providers_min, params.stub_providers_max);
+    int got = 0;
+    const auto& local = transits_by_region[static_cast<std::size_t>(region)];
+    for (int attempt = 0; attempt < want * 6 && got < want; ++attempt) {
+      Asn provider;
+      if (rng.chance(params.stub_tier1_provider)) {
+        provider = pick_preferential(tier1, degree, rng);
+      } else if (!local.empty() && rng.chance(0.85)) {
+        provider = pick_preferential(local, degree, rng);
+      } else if (!transits.empty()) {
+        provider = pick_preferential(transits, degree, rng);
+      } else {
+        provider = pick_preferential(tier1, degree, rng);
+      }
+      if (provider == asn || !mark(provider, asn)) continue;
+      const LinkMetrics m =
+          draw_link_metrics(params, g.node(provider), g.node(asn), Relationship::kProviderCustomer, link_rng);
+      g.add_link(provider, asn, Relationship::kProviderCustomer, true, false, m);
+      ++degree[provider];
+      ++degree[asn];
+      ++got;
+    }
+    if (got == 0) {
+      const Asn provider =
+          transits.empty() ? tier1[asn % tier1.size()] : transits[asn % transits.size()];
+      if (mark(provider, asn)) {
+        const LinkMetrics m =
+            draw_link_metrics(params, g.node(provider), g.node(asn), Relationship::kProviderCustomer, link_rng);
+        g.add_link(provider, asn, Relationship::kProviderCustomer, true, false, m);
+      }
+    }
+    // Occasional content-network peering with a transit.
+    if (!transits.empty() && rng.chance(params.stub_transit_peering)) {
+      const Asn peer = rng.pick(transits);
+      if (peer != asn && mark(peer, asn)) {
+        const LinkMetrics m =
+            draw_link_metrics(params, g.node(peer), g.node(asn), Relationship::kPeerPeer, link_rng);
+        g.add_link(peer, asn, Relationship::kPeerPeer, true, false, m);
+      }
+    }
+  }
+
+  // --- CDN networks ---------------------------------------------------------
+  // One AS per CDN, peered with a large share of the transit layer so it
+  // sits 1-2 hops from every eyeball — the proximity that makes the DL
+  // category's IPv4 presence fast.
+  for (std::size_t i = 0; i < params.num_cdn; ++i) {
+    const Asn asn = g.add_as(Tier::kStub, static_cast<Region>(i % kNumRegions));
+    g.node(asn).is_cdn = true;
+    // One tier-1 provider for universal reachability.
+    const Asn provider = tier1[i % tier1.size()];
+    if (mark(provider, asn)) {
+      const LinkMetrics m = draw_link_metrics(
+          params, g.node(provider), g.node(asn), Relationship::kProviderCustomer,
+          link_rng);
+      g.add_link(provider, asn, Relationship::kProviderCustomer, true, false, m);
+    }
+    for (Asn t : transits) {
+      if (!rng.chance(params.cdn_transit_peering)) continue;
+      if (!mark(t, asn)) continue;
+      // POP-local peering: treat as same-region IX latency regardless of
+      // the nominal AS regions (the CDN is everywhere).
+      LinkMetrics m;
+      m.latency_ms = link_rng.uniform(params.latency_same_region_lo,
+                                      params.latency_same_region_hi) *
+                     params.peer_latency_factor;
+      m.bandwidth_kBps = params.bw_transit_kBps;
+      g.add_link(t, asn, Relationship::kPeerPeer, true, false, m);
+    }
+  }
+
+  // --- IPv6 adoption and link parity --------------------------------------
+  util::Rng v6_rng = rng.child("v6-adoption");
+  for (std::size_t a = 0; a < g.num_ases(); ++a) {
+    AsNode& n = g.node(static_cast<Asn>(a));
+    n.has_v6 = !n.is_cdn && v6_rng.chance(adoption_for(params.v6, n.tier));
+  }
+  for (std::uint32_t id = 0; id < g.num_links(); ++id) {
+    const AsLink& l = g.link(id);
+    if (!g.node(l.a).has_v6 || !g.node(l.b).has_v6) continue;
+    double parity;
+    if (g.node(l.a).tier == Tier::kTier1 && g.node(l.b).tier == Tier::kTier1) {
+      parity = params.v6.tier1_mesh_parity;
+    } else if (l.rel == Relationship::kProviderCustomer) {
+      parity = params.v6.c2p_parity;
+    } else {
+      parity = params.v6.p2p_parity;
+    }
+    if (v6_rng.chance(parity)) g.enable_v6_on_link(id);
+  }
+
+  // --- IPv6-only enthusiast peering ----------------------------------------
+  // Pairs of IPv6 transits without an IPv4 adjacency sometimes peer over
+  // IPv6 alone.
+  if (params.v6.v6_only_peering_same_region > 0.0 ||
+      params.v6.v6_only_peering_cross_region > 0.0) {
+    std::vector<Asn> v6_transits;
+    for (Asn t : transits) {
+      if (g.node(t).has_v6) v6_transits.push_back(t);
+    }
+    for (std::size_t i = 0; i < v6_transits.size(); ++i) {
+      for (std::size_t j = i + 1; j < v6_transits.size(); ++j) {
+        const AsNode& a = g.node(v6_transits[i]);
+        const AsNode& b = g.node(v6_transits[j]);
+        const double p = a.region == b.region
+                             ? params.v6.v6_only_peering_same_region
+                             : params.v6.v6_only_peering_cross_region;
+        if (!v6_rng.chance(p)) continue;
+        if (!mark(a.asn, b.asn)) continue;
+        const LinkMetrics m =
+            draw_link_metrics(params, a, b, Relationship::kPeerPeer, link_rng);
+        g.add_link(a.asn, b.asn, Relationship::kPeerPeer, /*in_v4=*/false,
+                   /*in_v6=*/true, m);
+      }
+    }
+  }
+
+  return g;
+}
+
+}  // namespace v6mon::topo

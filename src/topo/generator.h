@@ -1,0 +1,99 @@
+#pragma once
+
+#include <cstddef>
+
+#include "topo/as_graph.h"
+#include "util/rng.h"
+
+namespace v6mon::topo {
+
+/// IPv6 adoption / deployment profile. The two `*_parity` values encode
+/// the paper's central structural observation: even when two ASes both
+/// run IPv6, their *peering* often does not, so IPv6 routes detour.
+struct Ipv6Profile {
+  double tier1_adoption = 0.90;
+  double transit_adoption = 0.45;
+  double stub_adoption = 0.22;
+  /// Probability a provider-customer link carries IPv6 when both ends do.
+  double c2p_parity = 0.85;
+  /// Probability a peering link carries IPv6 when both ends do. This is
+  /// the knob the paper's recommendation ("peering parity") turns up.
+  double p2p_parity = 0.45;
+  /// Tier-1 mesh IPv6 parity (the core upgraded first).
+  double tier1_mesh_parity = 0.95;
+  /// Early IPv6 networks also peered *liberally* with each other at IXes,
+  /// creating IPv6-only shortcuts with no IPv4 counterpart. These make
+  /// some divergent IPv6 paths genuinely faster — the reason a third of
+  /// the paper's sites see IPv6 win (Fig. 3b) even though DP destination
+  /// ASes are mostly worse on average (Table 11).
+  double v6_only_peering_same_region = 0.0;
+  double v6_only_peering_cross_region = 0.0;
+};
+
+/// Shape and size of the generated Internet.
+struct TopologyParams {
+  std::size_t num_tier1 = 10;
+  std::size_t num_transit = 240;
+  std::size_t num_stub = 2750;
+
+  int transit_providers_min = 1;
+  int transit_providers_max = 3;
+  int stub_providers_min = 1;
+  int stub_providers_max = 2;
+  /// Probability a transit AS picks a tier-1 (vs another transit) provider.
+  double transit_prefers_tier1 = 0.55;
+  /// Probability a stub gets a direct tier-1 provider (big content/CDN).
+  double stub_tier1_provider = 0.03;
+
+  /// Peering probabilities between transit ASes.
+  double transit_peering_same_region = 0.10;
+  double transit_peering_cross_region = 0.015;
+  /// Peering between large stubs (content networks) and transits.
+  double stub_transit_peering = 0.01;
+
+  /// CDN networks: stub-tier ASes that peer with a large fraction of the
+  /// transit layer (a one-AS abstraction of a CDN's POP mesh). In 2011
+  /// CDNs had no production IPv6, so these never adopt it — sites they
+  /// serve are the paper's DL category.
+  std::size_t num_cdn = 8;
+  double cdn_transit_peering = 0.35;
+
+  /// Latency draws (ms). Peering links are IX shortcuts: markedly lower
+  /// latency than provider links over the same distance — which is why
+  /// losing a peering in one family (IPv6) hurts (the paper's H2).
+  double latency_same_region_lo = 5.0;
+  double latency_same_region_hi = 25.0;
+  double latency_cross_region_lo = 40.0;
+  double latency_cross_region_hi = 140.0;
+  double peer_latency_factor = 0.35;
+
+  /// Per-flow bandwidth share (kbytes/sec) by the lower tier of the link.
+  double bw_core_kBps = 1.0e6;
+  double bw_transit_kBps = 2.0e5;
+  /// Stub access links: lognormal around this median.
+  double bw_stub_median_kBps = 400.0;
+  double bw_stub_sigma = 0.45;
+
+  Ipv6Profile v6;
+};
+
+/// Generate a tiered, policy-annotated AS graph:
+///   * tier-1 clique (full peer mesh),
+///   * transit ASes multi-homed to tier-1s/transits (preferential
+///     attachment so hub transits emerge),
+///   * stub ASes homed to same-region transits,
+///   * peering edges per the configured probabilities,
+///   * IPv6 adoption per tier and IPv6 link presence per the parity knobs.
+///
+/// The result is connected in IPv4 by construction (every AS has a
+/// provider chain to the tier-1 clique). IPv6 connectivity may be partial
+/// — exactly the situation 6to4/tunnel overlays (see scenario) repair.
+[[nodiscard]] AsGraph generate_topology(const TopologyParams& params, util::Rng& rng);
+
+/// Draw link metrics between two ASes under the given params. Exposed for
+/// scenario code that attaches vantage-point ASes by hand.
+[[nodiscard]] LinkMetrics draw_link_metrics(const TopologyParams& params,
+                                            const AsNode& a, const AsNode& b,
+                                            Relationship rel, util::Rng& rng);
+
+}  // namespace v6mon::topo

@@ -1,0 +1,58 @@
+#pragma once
+
+#include "transport/path.h"
+#include "util/rng.h"
+
+namespace v6mon::transport {
+
+/// Knobs of the closed-form TCP download model.
+struct DownloadParams {
+  /// Round trips spent before the first payload byte (TCP handshake +
+  /// HTTP request). Slow-start is folded into the effective-rate term.
+  double setup_rtts = 2.0;
+  /// Receive-window cap: steady-state TCP throughput <= window / RTT.
+  double window_kB = 64.0;
+  /// Multiplicative lognormal noise applied to each download (transient
+  /// congestion, server load).
+  double noise_sigma = 0.12;
+  /// Probability a download attempt fails outright (reset, stall).
+  double failure_prob = 0.002;
+  /// Base DNS+connect overhead independent of path (client stack).
+  double fixed_overhead_s = 0.02;
+};
+
+/// One simulated page download.
+struct DownloadResult {
+  bool ok = false;
+  double seconds = 0.0;
+  double kbytes = 0.0;
+
+  /// The paper's performance metric: average download *speed*.
+  [[nodiscard]] double speed_kBps() const {
+    return (ok && seconds > 0.0) ? kbytes / seconds : 0.0;
+  }
+};
+
+/// Closed-form single-flow download simulator.
+///
+/// Effective transfer rate = min(server rate, path bottleneck,
+/// window/RTT) x noise; total time = fixed overhead + setup RTTs +
+/// bytes / rate. This reproduces the two structural effects the paper's
+/// tables hinge on: throughput decays with AS-path length (RTT grows), and
+/// tunnels penalize *apparently short* IPv6 paths (their RTT reflects the
+/// hidden underlying IPv4 path).
+class DownloadSimulator {
+ public:
+  explicit DownloadSimulator(DownloadParams params = {}) : params_(params) {}
+
+  [[nodiscard]] DownloadResult simulate(const PathCharacteristics& path,
+                                        double page_kb, double server_rate_kBps,
+                                        util::Rng& rng) const;
+
+  [[nodiscard]] const DownloadParams& params() const { return params_; }
+
+ private:
+  DownloadParams params_;
+};
+
+}  // namespace v6mon::transport

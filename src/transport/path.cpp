@@ -1,0 +1,46 @@
+#include "transport/path.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace v6mon::transport {
+
+PathCharacteristics characterize_path(const topo::AsGraph& graph, topo::Asn src,
+                                      const std::vector<topo::Asn>& as_path,
+                                      ip::Family family) {
+  PathCharacteristics pc;
+  pc.bottleneck_kBps = std::numeric_limits<double>::infinity();
+  topo::Asn prev = src;
+  for (topo::Asn cur : as_path) {
+    const std::uint32_t link_id = graph.find_link(prev, cur, family);
+    if (link_id == topo::AsGraph::kNoLink) {
+      pc.valid = false;
+      return pc;
+    }
+    const topo::AsLink& l = graph.link(link_id);
+    ++pc.as_hops;
+    if (l.v6_tunnel) {
+      pc.via_tunnel = true;
+      // The stored metrics already describe the underlying IPv4 leg; add
+      // the encapsulation overhead on top.
+      pc.rtt_ms += 2.0 * (l.metrics.latency_ms + l.tunnel_extra_latency_ms);
+      pc.bottleneck_kBps = std::min(
+          pc.bottleneck_kBps, l.metrics.bandwidth_kBps * l.tunnel_bandwidth_factor);
+      pc.underlying_hops += l.tunnel_underlying_hops;
+    } else {
+      pc.rtt_ms += 2.0 * l.metrics.latency_ms;
+      pc.bottleneck_kBps = std::min(pc.bottleneck_kBps, l.metrics.bandwidth_kBps);
+      pc.underlying_hops += 1;
+    }
+    prev = cur;
+  }
+  if (as_path.empty()) {
+    // Intra-AS delivery: a small constant.
+    pc.rtt_ms = 4.0;
+    pc.bottleneck_kBps = 1.0e6;
+  }
+  pc.valid = true;
+  return pc;
+}
+
+}  // namespace v6mon::transport

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <vector>
+
+#include "ip/prefix.h"
+#include "topo/as_graph.h"
+
+namespace v6mon::transport {
+
+/// Data-plane characteristics of an AS-level path, as one TCP flow would
+/// experience it.
+struct PathCharacteristics {
+  double rtt_ms = 0.0;            ///< Round-trip propagation across the path.
+  double bottleneck_kBps = 0.0;   ///< Narrowest per-flow bandwidth share.
+  unsigned as_hops = 0;           ///< *Apparent* AS-path length (tunnels count 1).
+  unsigned underlying_hops = 0;   ///< Real hop count including tunnel interior.
+  bool via_tunnel = false;
+  bool valid = false;             ///< False when the path uses a missing link.
+  /// Persistent end-to-end quality multiplier on achieved throughput
+  /// (congestion/provisioning beyond the nominal metrics); mean 1.
+  double quality = 1.0;
+};
+
+/// Walk `as_path` (as returned by bgp::RouteTable::as_path / RibEntry)
+/// from `src` and accumulate link metrics in the given family. Tunnel
+/// pseudo-links contribute their stored underlying latency plus
+/// encapsulation overhead, a bandwidth haircut, and the hidden hop count.
+[[nodiscard]] PathCharacteristics characterize_path(const topo::AsGraph& graph,
+                                                    topo::Asn src,
+                                                    const std::vector<topo::Asn>& as_path,
+                                                    ip::Family family);
+
+}  // namespace v6mon::transport

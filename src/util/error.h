@@ -1,0 +1,31 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace v6mon {
+
+/// Base class for all errors thrown by the v6mon library.
+///
+/// Library code throws only at API boundaries (parse failures, invalid
+/// configuration, violated preconditions that depend on runtime input).
+/// Internal logic errors are guarded by assertions instead.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when textual input (addresses, prefixes, config values) cannot
+/// be parsed.
+class ParseError : public Error {
+ public:
+  explicit ParseError(const std::string& what) : Error("parse error: " + what) {}
+};
+
+/// Thrown when a configuration value is out of its documented domain.
+class ConfigError : public Error {
+ public:
+  explicit ConfigError(const std::string& what) : Error("config error: " + what) {}
+};
+
+}  // namespace v6mon

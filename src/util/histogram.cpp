@@ -1,0 +1,58 @@
+#include "util/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace v6mon::util {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  if (!(lo < hi)) throw ConfigError("Histogram requires lo < hi");
+  if (bins == 0) throw ConfigError("Histogram requires at least one bin");
+}
+
+std::size_t Histogram::bin_of(double x) const {
+  if (x <= lo_) return 0;
+  if (x >= hi_) return counts_.size() - 1;
+  const double frac = (x - lo_) / (hi_ - lo_);
+  auto bin = static_cast<std::size_t>(frac * static_cast<double>(counts_.size()));
+  return std::min(bin, counts_.size() - 1);
+}
+
+void Histogram::add(double x) {
+  ++counts_[bin_of(x)];
+  ++total_;
+}
+
+double Histogram::bin_lo(std::size_t bin) const {
+  return lo_ + (hi_ - lo_) * static_cast<double>(bin) / static_cast<double>(counts_.size());
+}
+
+double Histogram::bin_hi(std::size_t bin) const { return bin_lo(bin + 1); }
+
+std::size_t Histogram::mode_bin() const {
+  return static_cast<std::size_t>(
+      std::max_element(counts_.begin(), counts_.end()) - counts_.begin());
+}
+
+double Histogram::mass_at(double x) const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(counts_[bin_of(x)]) / static_cast<double>(total_);
+}
+
+std::string Histogram::render() const {
+  static const char* kLevels[] = {" ", ".", ":", "-", "=", "+", "*", "#"};
+  const std::size_t peak = total_ ? counts_[mode_bin()] : 0;
+  std::string out = "[";
+  for (std::size_t c : counts_) {
+    const std::size_t level =
+        peak ? (c * 7 + peak - 1) / peak : 0;  // ceil-scale into 0..7
+    out += kLevels[std::min<std::size_t>(level, 7)];
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace v6mon::util

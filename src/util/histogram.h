@@ -1,0 +1,40 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace v6mon::util {
+
+/// Fixed-width binned histogram over a closed range. Values outside the
+/// range clamp into the first/last bin.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+
+  [[nodiscard]] std::size_t bin_of(double x) const;
+  [[nodiscard]] std::size_t bins() const { return counts_.size(); }
+  [[nodiscard]] std::size_t count(std::size_t bin) const { return counts_.at(bin); }
+  [[nodiscard]] std::size_t total() const { return total_; }
+  [[nodiscard]] double bin_lo(std::size_t bin) const;
+  [[nodiscard]] double bin_hi(std::size_t bin) const;
+
+  /// Index of the fullest bin (first on ties). Requires total() > 0.
+  [[nodiscard]] std::size_t mode_bin() const;
+
+  /// Fraction of samples in the bin containing `x`.
+  [[nodiscard]] double mass_at(double x) const;
+
+  /// One-line sparkline-ish rendering, for debugging/bench logs.
+  [[nodiscard]] std::string render() const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace v6mon::util

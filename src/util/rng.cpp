@@ -1,0 +1,103 @@
+#include "util/rng.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace v6mon::util {
+
+std::uint64_t hash_combine(std::uint64_t seed, std::string_view name,
+                           std::uint64_t index) {
+  // FNV-1a over (seed || name || index), followed by a splitmix64 finisher
+  // so that nearby seeds map to distant states.
+  std::uint64_t h = 1469598103934665603ULL;
+  auto mix_byte = [&h](unsigned char b) {
+    h ^= b;
+    h *= 1099511628211ULL;
+  };
+  for (int i = 0; i < 8; ++i) mix_byte(static_cast<unsigned char>(seed >> (8 * i)));
+  for (char c : name) mix_byte(static_cast<unsigned char>(c));
+  for (int i = 0; i < 8; ++i) mix_byte(static_cast<unsigned char>(index >> (8 * i)));
+  // splitmix64 finisher
+  h += 0x9e3779b97f4a7c15ULL;
+  h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  h = (h ^ (h >> 27)) * 0x94d049bb133111ebULL;
+  return h ^ (h >> 31);
+}
+
+Rng Rng::child(std::string_view name, std::uint64_t index) const {
+  return Rng(hash_combine(seed_, name, index));
+}
+
+std::uint64_t Rng::uniform_u64(std::uint64_t lo, std::uint64_t hi) {
+  assert(lo <= hi);
+  return std::uniform_int_distribution<std::uint64_t>(lo, hi)(engine_);
+}
+
+std::uint32_t Rng::uniform_u32(std::uint32_t lo, std::uint32_t hi) {
+  assert(lo <= hi);
+  return std::uniform_int_distribution<std::uint32_t>(lo, hi)(engine_);
+}
+
+int Rng::uniform_int(int lo, int hi) {
+  assert(lo <= hi);
+  return std::uniform_int_distribution<int>(lo, hi)(engine_);
+}
+
+std::size_t Rng::index(std::size_t size) {
+  assert(size > 0);
+  return std::uniform_int_distribution<std::size_t>(0, size - 1)(engine_);
+}
+
+double Rng::uniform01() {
+  return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+}
+
+double Rng::uniform(double lo, double hi) {
+  return std::uniform_real_distribution<double>(lo, hi)(engine_);
+}
+
+bool Rng::chance(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform01() < p;
+}
+
+double Rng::normal(double mean, double stddev) {
+  return std::normal_distribution<double>(mean, stddev)(engine_);
+}
+
+double Rng::lognormal_median(double median, double sigma) {
+  assert(median > 0.0);
+  return std::lognormal_distribution<double>(std::log(median), sigma)(engine_);
+}
+
+double Rng::exponential(double mean) {
+  assert(mean > 0.0);
+  return std::exponential_distribution<double>(1.0 / mean)(engine_);
+}
+
+double Rng::pareto(double xmin, double alpha) {
+  assert(xmin > 0.0 && alpha > 0.0);
+  double u = uniform01();
+  // Guard against u == 0 which would yield infinity.
+  if (u <= 0.0) u = 1e-300;
+  return xmin / std::pow(u, 1.0 / alpha);
+}
+
+std::uint64_t Rng::zipf(std::uint64_t n, double s) {
+  assert(n >= 1);
+  if (n == 1) return 1;
+  // Inverse-CDF on the continuous envelope, then clamp. Accurate enough
+  // for workload generation (exact normalization is not required).
+  if (s == 1.0) s = 1.0000001;  // avoid the log singularity
+  const double one_minus_s = 1.0 - s;
+  const double hn = (std::pow(static_cast<double>(n), one_minus_s) - 1.0) / one_minus_s;
+  const double u = uniform01();
+  const double x = std::pow(u * hn * one_minus_s + 1.0, 1.0 / one_minus_s);
+  auto r = static_cast<std::uint64_t>(x);
+  if (r < 1) r = 1;
+  if (r > n) r = n;
+  return r;
+}
+
+}  // namespace v6mon::util

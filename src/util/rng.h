@@ -1,0 +1,89 @@
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <string_view>
+#include <vector>
+
+namespace v6mon::util {
+
+/// Deterministic random number source.
+///
+/// All randomness in the simulator flows from a single 64-bit root seed.
+/// Subsystems obtain independent streams with `child("name")`, which
+/// derives a new seed by hashing the parent seed with the name. Two
+/// children with different names are statistically independent; the same
+/// (seed, name) pair always yields the same stream, so every experiment
+/// is reproducible bit-for-bit regardless of evaluation order elsewhere.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : seed_(seed), engine_(seed) {}
+
+  /// Derive an independent child stream keyed by `name` (and an optional
+  /// integer discriminator, e.g. a round or site index).
+  [[nodiscard]] Rng child(std::string_view name, std::uint64_t index = 0) const;
+
+  /// The seed this stream was constructed with.
+  [[nodiscard]] std::uint64_t seed() const { return seed_; }
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::uint64_t uniform_u64(std::uint64_t lo, std::uint64_t hi);
+  std::uint32_t uniform_u32(std::uint32_t lo, std::uint32_t hi);
+  int uniform_int(int lo, int hi);
+  std::size_t index(std::size_t size);  ///< Uniform in [0, size-1]; requires size > 0.
+
+  /// Uniform real in [0, 1).
+  double uniform01();
+  /// Uniform real in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool chance(double p);
+
+  /// Normal draw.
+  double normal(double mean, double stddev);
+
+  /// Lognormal draw parameterized by the *target* median and the sigma of
+  /// the underlying normal. median = exp(mu).
+  double lognormal_median(double median, double sigma);
+
+  /// Exponential draw with the given mean.
+  double exponential(double mean);
+
+  /// Pareto draw with scale `xmin` and shape `alpha` (> 0).
+  double pareto(double xmin, double alpha);
+
+  /// Zipf-like rank draw over [1, n] with exponent s: P(r) ~ 1/r^s.
+  /// Uses rejection-inversion; O(1) expected time.
+  std::uint64_t zipf(std::uint64_t n, double s);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    if (v.size() < 2) return;
+    for (std::size_t i = v.size() - 1; i > 0; --i) {
+      std::size_t j = index(i + 1);
+      using std::swap;
+      swap(v[i], v[j]);
+    }
+  }
+
+  /// Pick a uniformly random element; requires non-empty.
+  template <typename T>
+  const T& pick(const std::vector<T>& v) {
+    return v[index(v.size())];
+  }
+
+  /// Access to the raw engine, for interoperating with <random>.
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::uint64_t seed_;
+  std::mt19937_64 engine_;
+};
+
+/// Stable 64-bit FNV-1a hash used for seed derivation (not cryptographic).
+[[nodiscard]] std::uint64_t hash_combine(std::uint64_t seed, std::string_view name,
+                                         std::uint64_t index);
+
+}  // namespace v6mon::util

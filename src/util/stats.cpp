@@ -1,0 +1,140 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+
+namespace v6mon::util {
+
+void RunningStats::add(double x) {
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void RunningStats::clear() { *this = RunningStats{}; }
+
+double RunningStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::stderror() const {
+  if (n_ < 2) return 0.0;
+  return stddev() / std::sqrt(static_cast<double>(n_));
+}
+
+double RunningStats::ci_halfwidth(double confidence) const {
+  if (n_ < 2) return std::numeric_limits<double>::infinity();
+  return student_t_critical(confidence, n_ - 1) * stderror();
+}
+
+double RunningStats::relative_ci_halfwidth(double confidence) const {
+  const double hw = ci_halfwidth(confidence);
+  if (!std::isfinite(hw)) return hw;
+  const double m = std::fabs(mean());
+  if (m == 0.0) return std::numeric_limits<double>::infinity();
+  return hw / m;
+}
+
+bool RunningStats::meets_relative_ci(double rel, double confidence) const {
+  return relative_ci_halfwidth(confidence) <= rel;
+}
+
+namespace {
+
+// Two-sided critical values, df 1..30.
+constexpr double kT90[30] = {6.314, 2.920, 2.353, 2.132, 2.015, 1.943, 1.895,
+                             1.860, 1.833, 1.812, 1.796, 1.782, 1.771, 1.761,
+                             1.753, 1.746, 1.740, 1.734, 1.729, 1.725, 1.721,
+                             1.717, 1.714, 1.711, 1.708, 1.706, 1.703, 1.701,
+                             1.699, 1.697};
+constexpr double kT95[30] = {12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365,
+                             2.306,  2.262, 2.228, 2.201, 2.179, 2.160, 2.145,
+                             2.131,  2.120, 2.110, 2.101, 2.093, 2.086, 2.080,
+                             2.074,  2.069, 2.064, 2.060, 2.056, 2.052, 2.048,
+                             2.045,  2.042};
+constexpr double kT99[30] = {63.657, 9.925, 5.841, 4.604, 4.032, 3.707, 3.499,
+                             3.355,  3.250, 3.169, 3.106, 3.055, 3.012, 2.977,
+                             2.947,  2.921, 2.898, 2.878, 2.861, 2.845, 2.831,
+                             2.819,  2.807, 2.797, 2.787, 2.779, 2.771, 2.763,
+                             2.756,  2.750};
+
+double z_for(double confidence) {
+  if (confidence >= 0.989) return 2.576;
+  if (confidence >= 0.949) return 1.960;
+  return 1.645;
+}
+
+}  // namespace
+
+double student_t_critical(double confidence, std::size_t df) {
+  if (df == 0) return std::numeric_limits<double>::infinity();
+  const double* table = kT95;
+  if (confidence >= 0.989) {
+    table = kT99;
+  } else if (confidence < 0.949) {
+    table = kT90;
+  }
+  if (df <= 30) return table[df - 1];
+  // Cornish-Fisher style expansion around the normal quantile; accurate to
+  // ~1e-3 for df > 30, more than enough for CI gating.
+  const double z = z_for(confidence);
+  const double d = static_cast<double>(df);
+  const double z3 = z * z * z;
+  const double z5 = z3 * z * z;
+  return z + (z3 + z) / (4.0 * d) + (5.0 * z5 + 16.0 * z3 + 3.0 * z) / (96.0 * d * d);
+}
+
+std::optional<double> quantile(std::vector<double> values, double q) {
+  if (values.empty()) return std::nullopt;
+  q = std::clamp(q, 0.0, 1.0);
+  std::sort(values.begin(), values.end());
+  const double pos = q * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+std::optional<double> median(std::vector<double> values) {
+  return quantile(std::move(values), 0.5);
+}
+
+double relative_diff(double a, double b) {
+  if (b == 0.0) {
+    if (a == 0.0) return 0.0;
+    return std::numeric_limits<double>::infinity();
+  }
+  return (a - b) / b;
+}
+
+bool comparable_or_better(double v6, double v4, double tolerance) {
+  if (v6 >= v4) return true;
+  if (v4 == 0.0) return true;
+  return (v4 - v6) / v4 <= tolerance;
+}
+
+}  // namespace v6mon::util

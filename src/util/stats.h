@@ -1,0 +1,73 @@
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <optional>
+#include <vector>
+
+namespace v6mon::util {
+
+/// Single-pass running statistics (Welford's algorithm).
+///
+/// This is the accumulator behind the paper's sampling rule: "downloads
+/// repeat until the measured average download time is within 10% of the
+/// mean with 95% confidence". See `relative_ci_halfwidth()`.
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& other);
+  void clear();
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] bool empty() const { return n_ == 0; }
+  [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double min() const { return min_; }
+  [[nodiscard]] double max() const { return max_; }
+  /// Unbiased sample variance; 0 when fewer than two samples.
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  /// Standard error of the mean; 0 when fewer than two samples.
+  [[nodiscard]] double stderror() const;
+
+  /// Half-width of the two-sided confidence interval for the mean at the
+  /// given confidence level (0.95 or 0.99), using Student's t.
+  /// Returns +inf when fewer than two samples.
+  [[nodiscard]] double ci_halfwidth(double confidence = 0.95) const;
+
+  /// ci_halfwidth / |mean|; +inf when mean is 0 or samples < 2.
+  [[nodiscard]] double relative_ci_halfwidth(double confidence = 0.95) const;
+
+  /// The paper's acceptance test: true when the CI half-width is within
+  /// `rel` (e.g. 0.10) of the mean at the given confidence.
+  [[nodiscard]] bool meets_relative_ci(double rel, double confidence = 0.95) const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Two-sided Student-t critical value for the given confidence level and
+/// degrees of freedom. Exact table for small df, normal approximation with
+/// a correction term for large df. Supported confidence levels: 0.90,
+/// 0.95, 0.99 (others fall back to 0.95).
+[[nodiscard]] double student_t_critical(double confidence, std::size_t df);
+
+/// Exact sample quantile (linear interpolation, type 7). `q` in [0,1].
+/// Returns nullopt on empty input. O(n log n): copies and sorts.
+[[nodiscard]] std::optional<double> quantile(std::vector<double> values, double q);
+
+/// Median convenience wrapper over `quantile`.
+[[nodiscard]] std::optional<double> median(std::vector<double> values);
+
+/// Relative difference (a-b)/b; +inf if b == 0 and a != 0; 0 if both 0.
+[[nodiscard]] double relative_diff(double a, double b);
+
+/// The paper's "comparable performance" predicate: IPv6 performance is
+/// within `tolerance` (default 10%) of IPv4 performance, or better.
+/// `v6` and `v4` are download speeds (higher is better).
+[[nodiscard]] bool comparable_or_better(double v6, double v4, double tolerance = 0.10);
+
+}  // namespace v6mon::util

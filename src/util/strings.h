@@ -1,0 +1,24 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace v6mon::util {
+
+/// Split on a single-character delimiter; keeps empty fields.
+[[nodiscard]] std::vector<std::string> split(std::string_view s, char delim);
+
+/// Trim ASCII whitespace from both ends.
+[[nodiscard]] std::string_view trim(std::string_view s);
+
+/// printf-style formatting into std::string.
+[[nodiscard]] std::string format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// True if `s` consists only of decimal digits (and is non-empty).
+[[nodiscard]] bool is_digits(std::string_view s);
+
+/// Join elements with a separator.
+[[nodiscard]] std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+}  // namespace v6mon::util

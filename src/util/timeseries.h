@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+namespace v6mon::util {
+
+/// Sliding-window median filter over a series. Window length must be odd.
+/// Edges use the available (truncated) window.
+[[nodiscard]] std::vector<double> median_filter(const std::vector<double>& xs,
+                                                std::size_t window);
+
+/// Direction of a detected step transition in a performance series.
+enum class StepDirection { kNone, kUp, kDown };
+
+/// Result of step-transition detection.
+struct StepTransition {
+  StepDirection direction = StepDirection::kNone;
+  /// Index of the first sample of the new regime (valid when direction != kNone).
+  std::size_t change_index = 0;
+  /// Ratio new-regime median / old-regime median.
+  double magnitude = 1.0;
+};
+
+/// The paper's transition detector (footnote 16): a median filter of
+/// length `window` (11 in the paper) configured to report changes in
+/// performance of magnitude greater than `threshold` (30%), triggering
+/// after ceil(window/2)+ (6 in the paper) consecutive samples 30% higher
+/// (lower) than the previous ones.
+///
+/// Implementation: compare each sample against the median of the
+/// preceding `window` samples; when `window/2 + 1` consecutive samples
+/// all deviate by more than `threshold` in the same direction, report a
+/// step at the first such sample.
+[[nodiscard]] StepTransition detect_step(const std::vector<double>& xs,
+                                         std::size_t window = 11,
+                                         double threshold = 0.30);
+
+/// Ordinary least-squares fit y = intercept + slope * x over x = 0..n-1.
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r2 = 0.0;           ///< Coefficient of determination.
+  double slope_stderr = 0.0; ///< Standard error of the slope estimate.
+  std::size_t n = 0;
+
+  /// |slope| / stderr — compare against a t critical value.
+  [[nodiscard]] double t_statistic() const;
+};
+
+[[nodiscard]] LinearFit linear_fit(const std::vector<double>& ys);
+
+/// Trend classification used for Table 3's last two columns: a steady
+/// upward/downward drift, detected as a statistically significant slope
+/// (t-test at 95%) whose total drift over the series exceeds
+/// `min_total_drift` of the series mean.
+enum class Trend { kNone, kUp, kDown };
+
+[[nodiscard]] Trend detect_trend(const std::vector<double>& ys,
+                                 double min_total_drift = 0.30);
+
+}  // namespace v6mon::util

@@ -1,0 +1,34 @@
+#include "web/dns_backend.h"
+
+namespace v6mon::web {
+
+std::vector<dns::ResourceRecord> CatalogDnsBackend::query(std::string_view name,
+                                                          dns::RecordType type,
+                                                          std::uint32_t round,
+                                                          bool& exists) const {
+  const auto id = parse_site_hostname(name);
+  if (!id || *id >= catalog_.size()) {
+    exists = false;
+    return {};
+  }
+  const Site& s = catalog_.site(*id);
+  const Hosting h = catalog_.hosting_at(s, round);
+  exists = true;
+  std::vector<dns::ResourceRecord> out;
+  if (type == dns::RecordType::kA) {
+    dns::ResourceRecord r;
+    r.name = std::string(name);
+    r.type = type;
+    r.rdata = h.v4_addr;
+    out.push_back(std::move(r));
+  } else if (type == dns::RecordType::kAaaa && s.dual_stack_at(round)) {
+    dns::ResourceRecord r;
+    r.name = std::string(name);
+    r.type = type;
+    r.rdata = h.v6_addr;
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+}  // namespace v6mon::web

@@ -1,0 +1,22 @@
+#pragma once
+
+#include "dns/zone.h"
+#include "web/catalog.h"
+
+namespace v6mon::web {
+
+/// Authoritative DNS view over a SiteCatalog. Synthesizes A/AAAA answers
+/// on demand so a million-site catalog needs no materialized zone.
+class CatalogDnsBackend final : public dns::AuthoritativeSource {
+ public:
+  explicit CatalogDnsBackend(const SiteCatalog& catalog) : catalog_(catalog) {}
+
+  std::vector<dns::ResourceRecord> query(std::string_view name, dns::RecordType type,
+                                         std::uint32_t round,
+                                         bool& exists) const override;
+
+ private:
+  const SiteCatalog& catalog_;
+};
+
+}  // namespace v6mon::web

@@ -1,0 +1,107 @@
+#include "ip/allocator.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/error.h"
+
+namespace v6mon::ip {
+namespace {
+
+TEST(Ipv4Allocator, SequentialDisjointBlocks) {
+  Ipv4Allocator alloc(*Ipv4Prefix::parse("10.0.0.0/8"), 16);
+  EXPECT_EQ(alloc.capacity(), 256u);
+  const auto a = alloc.allocate();
+  const auto b = alloc.allocate();
+  EXPECT_EQ(a.to_string(), "10.0.0.0/16");
+  EXPECT_EQ(b.to_string(), "10.1.0.0/16");
+  EXPECT_FALSE(a.contains(b));
+  EXPECT_FALSE(b.contains(a));
+  EXPECT_EQ(alloc.allocated(), 2u);
+}
+
+TEST(Ipv4Allocator, Exhaustion) {
+  Ipv4Allocator alloc(*Ipv4Prefix::parse("192.0.2.0/24"), 26);
+  for (int i = 0; i < 4; ++i) EXPECT_NO_THROW(alloc.allocate());
+  EXPECT_THROW(alloc.allocate(), v6mon::Error);
+}
+
+TEST(Ipv4Allocator, SameLengthPoolHasOneBlock) {
+  Ipv4Allocator alloc(*Ipv4Prefix::parse("10.0.0.0/8"), 8);
+  EXPECT_EQ(alloc.capacity(), 1u);
+  EXPECT_EQ(alloc.allocate().to_string(), "10.0.0.0/8");
+  EXPECT_THROW(alloc.allocate(), v6mon::Error);
+}
+
+TEST(Ipv4Allocator, InvalidSubLength) {
+  EXPECT_THROW(Ipv4Allocator(*Ipv4Prefix::parse("10.0.0.0/8"), 4),
+               v6mon::ConfigError);
+  EXPECT_THROW(Ipv4Allocator(*Ipv4Prefix::parse("10.0.0.0/8"), 33),
+               v6mon::ConfigError);
+}
+
+TEST(Ipv4Allocator, AllBlocksInsidePoolAndDistinct) {
+  Ipv4Allocator alloc(*Ipv4Prefix::parse("172.16.0.0/12"), 20);
+  const auto pool = alloc.pool();
+  std::set<std::string> seen;
+  for (std::uint64_t i = 0; i < alloc.capacity(); ++i) {
+    const auto p = alloc.allocate();
+    EXPECT_TRUE(pool.contains(p)) << p.to_string();
+    EXPECT_TRUE(seen.insert(p.to_string()).second) << p.to_string();
+  }
+  EXPECT_EQ(seen.size(), 256u);
+}
+
+TEST(Ipv6Allocator, SequentialBlocks) {
+  Ipv6Allocator alloc(*Ipv6Prefix::parse("2001:db8::/32"), 48);
+  const auto a = alloc.allocate();
+  const auto b = alloc.allocate();
+  const auto c = alloc.allocate();
+  EXPECT_EQ(a.to_string(), "2001:db8::/48");
+  EXPECT_EQ(b.to_string(), "2001:db8:1::/48");
+  EXPECT_EQ(c.to_string(), "2001:db8:2::/48");
+}
+
+TEST(Ipv6Allocator, CarryPropagation) {
+  Ipv6Allocator alloc(*Ipv6Prefix::parse("2001:db8::/32"), 48);
+  for (int i = 0; i < 0x100; ++i) alloc.allocate();
+  EXPECT_EQ(alloc.allocate().to_string(), "2001:db8:100::/48");
+}
+
+TEST(Ipv6Allocator, NonByteAlignedSubLength) {
+  Ipv6Allocator alloc(*Ipv6Prefix::parse("2001:db8::/32"), 44);
+  const auto a = alloc.allocate();
+  const auto b = alloc.allocate();
+  EXPECT_EQ(a.to_string(), "2001:db8::/44");
+  EXPECT_EQ(b.to_string(), "2001:db8:10::/44");
+  EXPECT_FALSE(a.contains(b.network()));
+}
+
+TEST(Ipv6Allocator, HostAddresses) {
+  // Carving /128 hosts out of a /64.
+  Ipv6Allocator alloc(*Ipv6Prefix::parse("2001:db8:0:1::/64"), 128);
+  EXPECT_EQ(alloc.allocate().to_string(), "2001:db8:0:1::/128");
+  EXPECT_EQ(alloc.allocate().to_string(), "2001:db8:0:1::1/128");
+  EXPECT_EQ(alloc.allocate().to_string(), "2001:db8:0:1::2/128");
+}
+
+TEST(OffsetAddress, V4) {
+  const auto base = Ipv4Address::parse_or_throw("10.0.0.0");
+  EXPECT_EQ(offset_address(base, 3, 24).to_string(), "10.0.3.0");
+  EXPECT_EQ(offset_address(base, 256, 24).to_string(), "10.1.0.0");
+  EXPECT_EQ(offset_address(base, 5, 32).to_string(), "10.0.0.5");
+}
+
+TEST(OffsetAddress, V6LargeIndices) {
+  const auto base = Ipv6Address::parse_or_throw("2001:db8::");
+  EXPECT_EQ(offset_address(base, 0x1234, 64).to_string(), "2001:db8:0:1234::");
+  EXPECT_EQ(offset_address(base, 0x10000, 64).to_string(), "2001:db8:1::");
+  EXPECT_EQ(offset_address(base, 1ULL << 32, 64).to_string(), "2001:db9::");
+  EXPECT_EQ(offset_address(base, 1, 128).to_string(), "2001:db8::1");
+  EXPECT_EQ(offset_address(base, 0xffff, 128).to_string(), "2001:db8::ffff");
+  EXPECT_EQ(offset_address(base, 0x10000, 128).to_string(), "2001:db8::1:0");
+}
+
+}  // namespace
+}  // namespace v6mon::ip

@@ -1,0 +1,96 @@
+#include "topo/as_graph.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace v6mon::topo {
+namespace {
+
+TEST(AsGraph, AddAsAssignsDenseAsns) {
+  AsGraph g;
+  EXPECT_EQ(g.add_as(Tier::kTier1, Region::kNorthAmerica), 0u);
+  EXPECT_EQ(g.add_as(Tier::kTransit, Region::kEurope), 1u);
+  EXPECT_EQ(g.add_as(Tier::kStub, Region::kAsia), 2u);
+  EXPECT_EQ(g.num_ases(), 3u);
+  EXPECT_EQ(g.node(1).tier, Tier::kTransit);
+  EXPECT_EQ(g.node(2).region, Region::kAsia);
+}
+
+TEST(AsGraph, LinkRolesAreSymmetricallyRecorded) {
+  AsGraph g;
+  const Asn p = g.add_as(Tier::kTransit, Region::kEurope);
+  const Asn c = g.add_as(Tier::kStub, Region::kEurope);
+  g.add_link(p, c, Relationship::kProviderCustomer, true, true, {});
+
+  ASSERT_EQ(g.adjacencies(p).size(), 1u);
+  ASSERT_EQ(g.adjacencies(c).size(), 1u);
+  EXPECT_EQ(g.adjacencies(p)[0].neighbor, c);
+  EXPECT_EQ(g.adjacencies(p)[0].role, Role::kCustomer);
+  EXPECT_EQ(g.adjacencies(c)[0].neighbor, p);
+  EXPECT_EQ(g.adjacencies(c)[0].role, Role::kProvider);
+}
+
+TEST(AsGraph, PeerLinkGivesPeerRolesBothWays) {
+  AsGraph g;
+  const Asn a = g.add_as(Tier::kTransit, Region::kAsia);
+  const Asn b = g.add_as(Tier::kTransit, Region::kAsia);
+  g.add_link(a, b, Relationship::kPeerPeer, true, false, {});
+  EXPECT_EQ(g.adjacencies(a)[0].role, Role::kPeer);
+  EXPECT_EQ(g.adjacencies(b)[0].role, Role::kPeer);
+}
+
+TEST(AsGraph, LinkValidation) {
+  AsGraph g;
+  const Asn a = g.add_as(Tier::kStub, Region::kEurope);
+  EXPECT_THROW(g.add_link(a, a, Relationship::kPeerPeer, true, false, {}),
+               v6mon::ConfigError);
+  EXPECT_THROW(g.add_link(a, 99, Relationship::kPeerPeer, true, false, {}),
+               v6mon::ConfigError);
+}
+
+TEST(AsGraph, FamilyPresence) {
+  AsGraph g;
+  const Asn a = g.add_as(Tier::kStub, Region::kEurope);
+  const Asn b = g.add_as(Tier::kStub, Region::kEurope);
+  const auto id = g.add_link(a, b, Relationship::kPeerPeer, true, false, {});
+  EXPECT_TRUE(g.link_in_family(id, ip::Family::kIpv4));
+  EXPECT_FALSE(g.link_in_family(id, ip::Family::kIpv6));
+  g.enable_v6_on_link(id);
+  EXPECT_TRUE(g.link_in_family(id, ip::Family::kIpv6));
+}
+
+TEST(AsGraph, TunnelLink) {
+  AsGraph g;
+  const Asn relay = g.add_as(Tier::kTransit, Region::kEurope);
+  const Asn island = g.add_as(Tier::kStub, Region::kEurope);
+  const auto id = g.add_tunnel(relay, island, {120.0, 300.0}, 4, 15.0, 0.85);
+  const AsLink& l = g.link(id);
+  EXPECT_TRUE(l.v6_tunnel);
+  EXPECT_FALSE(l.in_v4);
+  EXPECT_TRUE(l.in_v6);
+  EXPECT_EQ(l.tunnel_underlying_hops, 4u);
+  EXPECT_DOUBLE_EQ(l.tunnel_extra_latency_ms, 15.0);
+  EXPECT_DOUBLE_EQ(l.tunnel_bandwidth_factor, 0.85);
+  // Tunnel is provider-customer: relay provides transit to the island.
+  EXPECT_EQ(g.adjacencies(island)[0].role, Role::kProvider);
+}
+
+TEST(AsGraph, Counters) {
+  AsGraph g;
+  const Asn a = g.add_as(Tier::kTier1, Region::kEurope);
+  const Asn b = g.add_as(Tier::kTransit, Region::kEurope);
+  const Asn c = g.add_as(Tier::kStub, Region::kEurope);
+  g.node(a).has_v6 = true;
+  g.node(b).has_v6 = true;
+  g.add_link(a, b, Relationship::kProviderCustomer, true, true, {});
+  g.add_link(b, c, Relationship::kProviderCustomer, true, false, {});
+  EXPECT_EQ(g.num_v6_ases(), 2u);
+  EXPECT_EQ(g.num_links_in_family(ip::Family::kIpv4), 2u);
+  EXPECT_EQ(g.num_links_in_family(ip::Family::kIpv6), 1u);
+  EXPECT_EQ(g.ases_of_tier(Tier::kStub).size(), 1u);
+  EXPECT_NE(g.summary().find("3 ASes"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace v6mon::topo

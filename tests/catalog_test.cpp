@@ -1,0 +1,280 @@
+#include "web/catalog.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "dns/resolver.h"
+#include "topo/address_plan.h"
+#include "topo/generator.h"
+#include "web/dns_backend.h"
+
+namespace v6mon::web {
+namespace {
+
+struct World {
+  topo::AsGraph graph;
+  World() {
+    util::Rng rng(5);
+    topo::TopologyParams tp;
+    tp.num_tier1 = 4;
+    tp.num_transit = 30;
+    tp.num_stub = 150;
+    graph = topo::generate_topology(tp, rng);
+    topo::assign_addresses(graph, {}, rng);
+  }
+};
+
+CatalogParams small_params() {
+  CatalogParams p;
+  p.initial_sites = 4000;
+  p.churn_per_round = 50;
+  p.num_rounds = 20;
+  p.dns_cache_sites = 500;
+  return p;
+}
+
+TEST(SiteCatalog, SizeAndIdsAreDense) {
+  World w;
+  util::Rng rng(1);
+  const auto cat = SiteCatalog::generate(w.graph, small_params(), rng);
+  const auto& p = small_params();
+  EXPECT_EQ(cat.size(),
+            p.initial_sites + p.churn_per_round * p.num_rounds + p.dns_cache_sites);
+  for (std::size_t i = 0; i < cat.size(); ++i) {
+    EXPECT_EQ(cat.site(i).id, i);
+  }
+}
+
+TEST(SiteCatalog, Deterministic) {
+  World w;
+  util::Rng r1(7), r2(7);
+  const auto a = SiteCatalog::generate(w.graph, small_params(), r1);
+  const auto b = SiteCatalog::generate(w.graph, small_params(), r2);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); i += 97) {
+    EXPECT_EQ(a.site(i).v4_as, b.site(i).v4_as);
+    EXPECT_EQ(a.site(i).v6_from_round, b.site(i).v6_from_round);
+    EXPECT_EQ(a.site(i).page_kb, b.site(i).page_kb);
+  }
+}
+
+TEST(SiteCatalog, ChurnSitesAppearLater) {
+  World w;
+  util::Rng rng(2);
+  const auto p = small_params();
+  const auto cat = SiteCatalog::generate(w.graph, p, rng);
+  EXPECT_LT(cat.listed_at(0), cat.listed_at(static_cast<std::uint32_t>(p.num_rounds)));
+  EXPECT_EQ(cat.listed_at(0), p.initial_sites);
+  EXPECT_EQ(cat.listed_at(1), p.initial_sites + p.churn_per_round);
+  // DNS-cache sites never count toward the ranked list.
+  EXPECT_EQ(cat.listed_at(static_cast<std::uint32_t>(p.num_rounds)),
+            p.initial_sites + p.churn_per_round * p.num_rounds);
+}
+
+TEST(SiteCatalog, RankBucketsDriveAdoption) {
+  World w;
+  util::Rng rng(3);
+  CatalogParams p = small_params();
+  p.initial_sites = 60'000;
+  p.churn_per_round = 0;
+  p.adoption.top1k = 0.30;
+  p.adoption.rest = 0.01;
+  const auto cat = SiteCatalog::generate(w.graph, p, rng);
+  std::size_t top1k_v6 = 0, rest = 0, rest_v6 = 0;
+  for (const Site& s : cat.sites()) {
+    if (s.rank >= 1 && s.rank <= 1000) {
+      top1k_v6 += s.v6_from_round != kNever ? 1 : 0;
+    } else if (s.rank > 100'000 || s.rank == 0) {
+      ++rest;
+      rest_v6 += s.v6_from_round != kNever ? 1 : 0;
+    }
+  }
+  const double top_frac = static_cast<double>(top1k_v6) / 1000.0;
+  const double rest_frac = static_cast<double>(rest_v6) / static_cast<double>(rest);
+  EXPECT_GT(top_frac, 5 * rest_frac);
+}
+
+TEST(SiteCatalog, RoundWeightsShapeAdoptionTiming) {
+  World w;
+  util::Rng rng(4);
+  CatalogParams p = small_params();
+  p.initial_sites = 50'000;
+  p.adoption = RankAdoption{0.5, 0.5, 0.5, 0.5, 0.5, 0.5};  // many adopters
+  p.round_weights.assign(p.num_rounds + 1, 0.1);
+  p.round_weights[10] = 50.0;  // one big jump (a "World IPv6 Day")
+  const auto cat = SiteCatalog::generate(w.graph, p, rng);
+  const double before = cat.reachability_at(9);
+  const double after = cat.reachability_at(10);
+  EXPECT_GT(after, before * 3);
+}
+
+TEST(SiteCatalog, ReachabilityIsMonotone) {
+  World w;
+  util::Rng rng(5);
+  const auto p = small_params();
+  const auto cat = SiteCatalog::generate(w.graph, p, rng);
+  double prev = -1.0;
+  // Reachability per listed population can dip when churn adds v4-only
+  // sites; compare absolute v6 counts instead for monotonicity.
+  std::size_t prev_count = 0;
+  for (std::uint32_t r = 0; r <= static_cast<std::uint32_t>(p.num_rounds); ++r) {
+    std::size_t v6 = 0;
+    for (const Site& s : cat.sites()) {
+      if (!s.from_dns_cache && s.in_list_at(r) && s.dual_stack_at(r)) ++v6;
+    }
+    EXPECT_GE(v6, prev_count);
+    prev_count = v6;
+    (void)prev;
+  }
+}
+
+TEST(SiteCatalog, DualStackSitesHaveConsistentHosting) {
+  World w;
+  util::Rng rng(6);
+  const auto cat = SiteCatalog::generate(w.graph, small_params(), rng);
+  const auto om = topo::OriginMap::build(w.graph);
+  std::size_t dual = 0, dl = 0;
+  for (const Site& s : cat.sites()) {
+    ASSERT_NE(s.v4_as, topo::kNoAs);
+    // v4 address must map back to the hosting AS.
+    ASSERT_TRUE(om.origin_v4(s.v4_addr).has_value());
+    EXPECT_EQ(*om.origin_v4(s.v4_addr), s.v4_as);
+    if (s.v6_from_round == kNever) continue;
+    ++dual;
+    EXPECT_TRUE(w.graph.node(s.v6_as).has_v6);
+    ASSERT_TRUE(om.origin_v6(s.v6_addr).has_value());
+    EXPECT_EQ(*om.origin_v6(s.v6_addr), s.v6_as);
+    if (s.different_location()) ++dl;
+  }
+  EXPECT_GT(dual, 0u);
+  EXPECT_GT(dl, 0u);   // some CDN-split sites
+  EXPECT_LT(dl, dual); // but not all
+}
+
+TEST(SiteCatalog, ServerPenaltyClustersByHostingAs) {
+  World w;
+  util::Rng rng(7);
+  CatalogParams p = small_params();
+  p.initial_sites = 40'000;
+  p.adoption = RankAdoption{0.5, 0.5, 0.5, 0.5, 0.5, 0.5};
+  p.v6_bad_host_as_prob = 0.2;
+  p.v6_penalty_prob_bad_host = 0.8;
+  p.v6_penalty_prob_good_host = 0.02;
+  p.w6d_round = kNever;
+  const auto cat = SiteCatalog::generate(w.graph, p, rng);
+  // Per hosting AS, penalty rates must be bimodal: mostly-penalized ASes
+  // and almost-clean ASes, with few in between.
+  std::map<topo::Asn, std::pair<std::size_t, std::size_t>> by_as;  // {dual, penalized}
+  for (const Site& s : cat.sites()) {
+    if (s.v6_from_round == kNever) continue;
+    if (s.different_location()) continue;  // DL sites carry the CDN/origin factor
+    auto& [dual, pen] = by_as[s.v6_as];
+    ++dual;
+    if (s.v6_server_factor < 1.0f) ++pen;
+  }
+  std::size_t high = 0, low = 0, mid = 0, considered = 0;
+  for (const auto& [asn, counts] : by_as) {
+    if (counts.first < 10) continue;
+    ++considered;
+    const double rate =
+        static_cast<double>(counts.second) / static_cast<double>(counts.first);
+    if (rate > 0.55) ++high;
+    else if (rate < 0.25) ++low;
+    else ++mid;
+  }
+  ASSERT_GT(considered, 20u);
+  EXPECT_GT(high, 0u);
+  EXPECT_GT(low, high);      // most hosting ASes are clean
+  EXPECT_LT(mid, considered / 4);  // the middle band is thin
+}
+
+TEST(SiteCatalog, W6dParticipantsAreV6ByTheEvent) {
+  World w;
+  util::Rng rng(8);
+  CatalogParams p = small_params();
+  p.initial_sites = 30'000;
+  p.w6d_round = 15;
+  const auto cat = SiteCatalog::generate(w.graph, p, rng);
+  std::size_t participants = 0;
+  for (const Site& s : cat.sites()) {
+    if (!s.w6d_participant) continue;
+    ++participants;
+    EXPECT_TRUE(s.dual_stack_at(15)) << "site " << s.id;
+    EXPECT_EQ(s.v6_server_factor, 1.0f);
+  }
+  EXPECT_GT(participants, 50u);
+}
+
+TEST(SiteCatalog, HostnameRoundTrip) {
+  World w;
+  util::Rng rng(9);
+  const auto cat = SiteCatalog::generate(w.graph, small_params(), rng);
+  const Site& s = cat.site(123);
+  EXPECT_EQ(s.hostname(), "www.s123.v6mon.test");
+  const Site* found = cat.by_hostname(s.hostname());
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->id, s.id);
+  EXPECT_EQ(cat.by_hostname("www.example.com"), nullptr);
+  EXPECT_EQ(cat.by_hostname("www.s99999999.v6mon.test"), nullptr);
+}
+
+TEST(ParseSiteHostname, Cases) {
+  EXPECT_EQ(*parse_site_hostname("www.s0.v6mon.test"), 0u);
+  EXPECT_EQ(*parse_site_hostname("www.s42.v6mon.test"), 42u);
+  EXPECT_FALSE(parse_site_hostname("www.s.v6mon.test").has_value());
+  EXPECT_FALSE(parse_site_hostname("www.sX.v6mon.test").has_value());
+  EXPECT_FALSE(parse_site_hostname("s42.v6mon.test").has_value());
+  EXPECT_FALSE(parse_site_hostname("www.s42.other.test").has_value());
+  EXPECT_FALSE(parse_site_hostname("").has_value());
+}
+
+TEST(Site, ServerMultiplierStepAndTrend) {
+  Site s;
+  s.first_seen_round = 0;
+  s.step_round = 10;
+  s.step_factor = 0.5f;
+  EXPECT_DOUBLE_EQ(s.server_multiplier_at(9), 1.0);
+  EXPECT_DOUBLE_EQ(s.server_multiplier_at(10), 0.5);
+  Site t;
+  t.trend_per_round = 0.01f;
+  // trend_per_round is a float; allow for its representation error.
+  EXPECT_NEAR(t.server_multiplier_at(10), std::pow(1.01, 10), 1e-6);
+}
+
+TEST(CatalogDnsBackend, AnswersTrackAdoptionRound) {
+  World w;
+  util::Rng rng(10);
+  CatalogParams p = small_params();
+  const auto cat = SiteCatalog::generate(w.graph, p, rng);
+  const CatalogDnsBackend backend(cat);
+  dns::Resolver resolver(backend, {}, util::Rng(11));
+
+  // Find a site that adopts v6 mid-campaign.
+  const Site* mid = nullptr;
+  for (const Site& s : cat.sites()) {
+    if (s.v6_from_round != kNever && s.v6_from_round > 2 &&
+        s.v6_from_round <= p.num_rounds) {
+      mid = &s;
+      break;
+    }
+  }
+  ASSERT_NE(mid, nullptr) << "no mid-campaign adopter generated";
+
+  const auto before =
+      resolver.resolve(mid->hostname(), dns::RecordType::kAaaa, mid->v6_from_round - 1);
+  EXPECT_TRUE(before.ok());
+  EXPECT_FALSE(before.has_answers());
+  const auto after =
+      resolver.resolve(mid->hostname(), dns::RecordType::kAaaa, mid->v6_from_round);
+  ASSERT_TRUE(after.has_answers());
+  EXPECT_EQ(after.records[0].aaaa(), mid->v6_addr);
+  const auto a = resolver.resolve(mid->hostname(), dns::RecordType::kA, 0);
+  ASSERT_TRUE(a.has_answers());
+  EXPECT_EQ(a.records[0].a(), mid->v4_addr);
+  const auto nx = resolver.resolve("www.unknown.test", dns::RecordType::kA, 0);
+  EXPECT_EQ(nx.rcode, dns::Rcode::kNxDomain);
+}
+
+}  // namespace
+}  // namespace v6mon::web

@@ -1,0 +1,69 @@
+#include "analysis/classify.h"
+
+#include <gtest/gtest.h>
+
+namespace v6mon::analysis {
+namespace {
+
+SiteAssessment make(std::uint32_t site, topo::Asn v4_origin, topo::Asn v6_origin,
+                    core::PathId v4_path, core::PathId v6_path, double v4 = 50.0,
+                    double v6 = 48.0) {
+  SiteAssessment a;
+  a.site = site;
+  a.outcome = SiteOutcome::kKept;
+  a.rounds_measured = 10;
+  a.v4_origin = v4_origin;
+  a.v6_origin = v6_origin;
+  a.v4_path = v4_path;
+  a.v6_path = v6_path;
+  a.v4_speed = v4;
+  a.v6_speed = v6;
+  return a;
+}
+
+TEST(Classify, SpDpDlSplit) {
+  std::vector<SiteAssessment> in{
+      make(1, 7, 7, 0, 0),   // same AS, same path -> SP
+      make(2, 7, 7, 0, 1),   // same AS, different path -> DP
+      make(3, 7, 9, 0, 1),   // different AS -> DL
+  };
+  const auto out = classify_sites(in);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].category, Category::kSp);
+  EXPECT_EQ(out[1].category, Category::kDp);
+  EXPECT_EQ(out[2].category, Category::kDl);
+  EXPECT_EQ(out[0].dest_as, 7u);
+  EXPECT_EQ(out[2].dest_as, 7u);  // DL keys on the IPv4 AS
+  const auto counts = count_categories(out);
+  EXPECT_EQ(counts.sp, 1u);
+  EXPECT_EQ(counts.dp, 1u);
+  EXPECT_EQ(counts.dl, 1u);
+}
+
+TEST(Classify, SkipsSitesWithoutOrigins) {
+  std::vector<SiteAssessment> in{
+      make(1, topo::kNoAs, 7, 0, 0),
+      make(2, 7, topo::kNoAs, 0, 0),
+      make(3, 7, 7, 0, 0),
+  };
+  const auto out = classify_sites(in);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].assessment.site, 3u);
+}
+
+TEST(Classify, LocalSitesAreSp) {
+  // Both presences inside the vantage point's own AS: no AS path at all.
+  std::vector<SiteAssessment> in{make(1, 7, 7, core::kNoPath, core::kNoPath)};
+  const auto out = classify_sites(in);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].category, Category::kSp);
+}
+
+TEST(Classify, CategoryNames) {
+  EXPECT_STREQ(category_name(Category::kDl), "DL");
+  EXPECT_STREQ(category_name(Category::kSp), "SP");
+  EXPECT_STREQ(category_name(Category::kDp), "DP");
+}
+
+}  // namespace
+}  // namespace v6mon::analysis

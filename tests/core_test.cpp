@@ -1,0 +1,351 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "core/campaign.h"
+#include "core/monitor.h"
+#include "core/results.h"
+#include "core/thread_pool.h"
+#include "scenario/paper.h"
+#include "scenario/world_builder.h"
+#include "util/error.h"
+#include "web/dns_backend.h"
+
+namespace v6mon::core {
+namespace {
+
+TEST(ThreadPool, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, WaitIdleOnEmptyPool) {
+  ThreadPool pool(2);
+  pool.wait_idle();  // must not hang
+  SUCCEED();
+}
+
+TEST(ThreadPool, ReusableAfterWait) {
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  pool.submit([&counter] { counter.fetch_add(1); });
+  pool.wait_idle();
+  pool.submit([&counter] { counter.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 2);
+}
+
+TEST(ThreadPool, RejectsZeroThreads) {
+  EXPECT_THROW(ThreadPool(0), v6mon::ConfigError);
+}
+
+TEST(PathRegistry, InternsAndDeduplicates) {
+  PathRegistry reg;
+  const std::vector<topo::Asn> p1{1, 2, 3};
+  const std::vector<topo::Asn> p2{1, 2, 4};
+  const PathId a = reg.intern(p1);
+  const PathId b = reg.intern(p2);
+  const PathId c = reg.intern(p1);
+  EXPECT_EQ(a, c);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(reg.size(), 2u);
+  EXPECT_EQ(reg.path(a), p1);
+  EXPECT_EQ(reg.to_string(a), "AS1 AS2 AS3");
+  EXPECT_EQ(reg.to_string(kNoPath), "-");
+  EXPECT_EQ(reg.to_string(reg.intern({})), "(local)");
+}
+
+TEST(ResultsDb, CountersBucketStatuses) {
+  ResultsDb db;
+  db.count(0, MonitorStatus::kV4Only);
+  db.count(0, MonitorStatus::kV4Only);
+  db.count(0, MonitorStatus::kMeasured);
+  db.count(0, MonitorStatus::kDifferentContent);
+  db.count(0, MonitorStatus::kV6DownloadFailed);
+  db.count(1, MonitorStatus::kV6Only);
+  db.count_listed(0, 5);
+  const RoundCounters& c0 = db.round_counters(0);
+  EXPECT_EQ(c0.v4_only, 2u);
+  EXPECT_EQ(c0.measured, 1u);
+  EXPECT_EQ(c0.different_content, 1u);
+  EXPECT_EQ(c0.download_failed, 1u);
+  EXPECT_EQ(c0.dual, 3u);
+  EXPECT_EQ(c0.listed, 5u);
+  EXPECT_EQ(db.round_counters(1).v6_only, 1u);
+  EXPECT_EQ(db.round_counters(99).listed, 0u);  // out of range = empty
+}
+
+TEST(ResultsDb, SeriesSortedByFinalize) {
+  ResultsDb db;
+  Observation a;
+  a.site = 7;
+  a.round = 5;
+  a.status = MonitorStatus::kMeasured;
+  Observation b = a;
+  b.round = 2;
+  db.add(a);
+  db.add(b);
+  db.finalize();
+  const auto* series = db.series(7);
+  ASSERT_NE(series, nullptr);
+  ASSERT_EQ(series->size(), 2u);
+  EXPECT_EQ((*series)[0].round, 2u);
+  EXPECT_EQ((*series)[1].round, 5u);
+  EXPECT_EQ(db.series(8), nullptr);
+}
+
+TEST(ResultsDb, CsvContainsObservations) {
+  ResultsDb db;
+  Observation o;
+  o.site = 3;
+  o.round = 1;
+  o.status = MonitorStatus::kMeasured;
+  o.v4_speed_kBps = 50.0f;
+  o.v6_speed_kBps = 45.0f;
+  o.v4_origin = 12;
+  o.v6_origin = 12;
+  o.v4_path = db.paths().intern({5, 12});
+  o.v6_path = db.paths().intern({6, 12});
+  db.add(o);
+  const std::string csv = db.to_csv();
+  EXPECT_NE(csv.find("3,1,measured,50,45"), std::string::npos);
+  EXPECT_NE(csv.find("AS5 AS12"), std::string::npos);
+}
+
+// --- Monitor pipeline on a small world -----------------------------------
+
+struct SmallWorld {
+  core::World world;
+  SmallWorld() {
+    scenario::WorldSpec spec;
+    spec.seed = 99;
+    spec.topology.num_tier1 = 4;
+    spec.topology.num_transit = 30;
+    spec.topology.num_stub = 150;
+    spec.catalog.initial_sites = 3000;
+    spec.catalog.churn_per_round = 20;
+    spec.catalog.num_rounds = 10;
+    spec.catalog.dns_cache_sites = 200;
+    spec.catalog.adoption = {0.5, 0.4, 0.3, 0.2, 0.15, 0.12};  // dense adoption
+    spec.w6d_round = 8;
+    spec.vantage_points = {
+        {.name = "A",
+         .type = core::VantagePoint::Type::kAcademic,
+         .region = topo::Region::kNorthAmerica,
+         .start_round = 0,
+         .has_as_path = true,
+         .whitelisted = false,
+         .uses_dns_cache_supplement = true,
+         .num_v4_providers = 2,
+         .v6_mode = scenario::V6UplinkMode::kSeparateProvider},
+        {.name = "B",
+         .type = core::VantagePoint::Type::kCommercial,
+         .region = topo::Region::kEurope,
+         .start_round = 2,
+         .has_as_path = true,
+         .whitelisted = false,
+         .uses_dns_cache_supplement = false,
+         .num_v4_providers = 1,
+         .v6_mode = scenario::V6UplinkMode::kSameProviders},
+    };
+    world = scenario::build_world(spec);
+  }
+};
+
+SmallWorld& small_world() {
+  static SmallWorld w;
+  return w;
+}
+
+TEST(Monitor, V4OnlySiteClassified) {
+  const auto& w = small_world().world;
+  const VantagePoint& vp = w.vantage_points[0];
+  Monitor mon(w, vp, {});
+  web::CatalogDnsBackend backend(w.catalog);
+  dns::Resolver resolver(backend, {}, util::Rng(1));
+
+  const web::Site* v4only = nullptr;
+  for (const web::Site& s : w.catalog.sites()) {
+    if (s.v6_from_round == web::kNever) {
+      v4only = &s;
+      break;
+    }
+  }
+  ASSERT_NE(v4only, nullptr);
+  PathRegistry paths;
+  const auto obs = mon.monitor_site(*v4only, 0, resolver, util::Rng(2), paths);
+  EXPECT_EQ(obs.status, MonitorStatus::kV4Only);
+}
+
+TEST(Monitor, DualStackSiteMeasured) {
+  const auto& w = small_world().world;
+  const VantagePoint& vp = w.vantage_points[1];  // full-parity VP
+  Monitor mon(w, vp, {});
+  web::CatalogDnsBackend backend(w.catalog);
+  dns::Resolver resolver(backend, {}, util::Rng(1));
+  PathRegistry paths;
+
+  int measured = 0, examined = 0;
+  for (const web::Site& s : w.catalog.sites()) {
+    if (!s.dual_stack_at(5) || s.v6_page_ratio != 1.0f) continue;
+    if (++examined > 40) break;
+    const auto obs = mon.monitor_site(s, 5, resolver, util::Rng(1000 + s.id), paths);
+    if (obs.status == MonitorStatus::kMeasured) {
+      ++measured;
+      EXPECT_GT(obs.v4_speed_kBps, 0.0f);
+      EXPECT_GT(obs.v6_speed_kBps, 0.0f);
+      EXPECT_GE(obs.v4_samples, 3u);
+      EXPECT_NE(obs.v4_origin, topo::kNoAs);
+      EXPECT_NE(obs.v6_origin, topo::kNoAs);
+      EXPECT_NE(obs.v4_path, kNoPath);
+      EXPECT_NE(obs.v6_path, kNoPath);
+    }
+  }
+  EXPECT_GT(measured, 10);
+}
+
+TEST(Monitor, DifferentContentDetected) {
+  const auto& w = small_world().world;
+  const VantagePoint& vp = w.vantage_points[1];
+  MonitorConfig cfg;
+  cfg.download.failure_prob = 0.0;
+  Monitor mon(w, vp, cfg);
+  web::CatalogDnsBackend backend(w.catalog);
+  dns::Resolver resolver(backend, {}, util::Rng(1));
+  PathRegistry paths;
+
+  const web::Site* diff = nullptr;
+  for (const web::Site& s : w.catalog.sites()) {
+    if (s.dual_stack_at(5) && s.v6_page_ratio > 1.06f) {
+      diff = &s;
+      break;
+    }
+  }
+  ASSERT_NE(diff, nullptr) << "catalog generated no different-content site";
+  const auto obs = mon.monitor_site(*diff, 5, resolver, util::Rng(3), paths);
+  EXPECT_EQ(obs.status, MonitorStatus::kDifferentContent);
+}
+
+TEST(Monitor, DeterministicGivenSameRng) {
+  const auto& w = small_world().world;
+  const VantagePoint& vp = w.vantage_points[1];
+  Monitor mon(w, vp, {});
+  web::CatalogDnsBackend backend(w.catalog);
+  PathRegistry paths;
+
+  const web::Site* dual = nullptr;
+  for (const web::Site& s : w.catalog.sites()) {
+    if (s.dual_stack_at(5)) {
+      dual = &s;
+      break;
+    }
+  }
+  ASSERT_NE(dual, nullptr);
+  dns::Resolver r1(backend, {}, util::Rng(5));
+  dns::Resolver r2(backend, {}, util::Rng(5));
+  const auto a = mon.monitor_site(*dual, 5, r1, util::Rng(42), paths);
+  const auto b = mon.monitor_site(*dual, 5, r2, util::Rng(42), paths);
+  EXPECT_EQ(a.status, b.status);
+  EXPECT_EQ(a.v4_speed_kBps, b.v4_speed_kBps);
+  EXPECT_EQ(a.v6_speed_kBps, b.v6_speed_kBps);
+}
+
+TEST(Monitor, SeparateProviderVpYieldsDivergentPaths) {
+  const auto& w = small_world().world;
+  const VantagePoint& penn_like = w.vantage_points[0];
+  Monitor mon(w, penn_like, {});
+  web::CatalogDnsBackend backend(w.catalog);
+  dns::Resolver resolver(backend, {}, util::Rng(1));
+  PathRegistry paths;
+
+  int same = 0, diff = 0;
+  for (const web::Site& s : w.catalog.sites()) {
+    if (!s.dual_stack_at(5) || s.different_location()) continue;
+    const auto obs = mon.monitor_site(s, 5, resolver, util::Rng(77 + s.id), paths);
+    if (obs.status != MonitorStatus::kMeasured) continue;
+    if (obs.v4_origin != obs.v6_origin) continue;
+    if (obs.v4_path == obs.v6_path) ++same;
+    else ++diff;
+    if (same + diff > 120) break;
+  }
+  EXPECT_GT(diff, same * 3) << "separate-provider VP should be DP-dominated";
+}
+
+TEST(Campaign, EndToEndSmallWorld) {
+  const auto& w = small_world().world;
+  CampaignConfig cfg;
+  cfg.seed = 7;
+  cfg.threads = 4;
+  cfg.w6d_mini_rounds = 3;
+  Campaign campaign(w, cfg);
+  campaign.run();
+  campaign.run_w6d();
+  campaign.finalize();
+
+  const ResultsDb& db = campaign.results(0);
+  // Round counters must cover the whole listed population.
+  const RoundCounters& c = db.round_counters(5);
+  EXPECT_EQ(c.listed, c.v4_only + c.v6_only + c.dual + c.dns_failed);
+  EXPECT_GT(c.dual, 0u);
+  EXPECT_GT(c.measured, 0u);
+  // VP B starts at round 2: no round-0/1 data.
+  EXPECT_EQ(campaign.results(1).round_counters(0).listed, 0u);
+  EXPECT_GT(campaign.results(1).round_counters(2).listed, 0u);
+  // W6D run produced data for both VPs.
+  EXPECT_FALSE(campaign.w6d_results(0).all_series().empty());
+  EXPECT_FALSE(campaign.w6d_results(1).all_series().empty());
+}
+
+TEST(Campaign, FastPathMatchesFullPipeline) {
+  const auto& w = small_world().world;
+  CampaignConfig fast;
+  fast.seed = 7;
+  fast.fast_path = true;
+  fast.threads = 2;
+  CampaignConfig slow = fast;
+  slow.fast_path = false;
+  Campaign cf(w, fast), cs(w, slow);
+  cf.run_round(1, 5);
+  cs.run_round(1, 5);
+  const RoundCounters& a = cf.results(1).round_counters(5);
+  const RoundCounters& b = cs.results(1).round_counters(5);
+  EXPECT_EQ(a.listed, b.listed);
+  EXPECT_EQ(a.v4_only, b.v4_only);
+  EXPECT_EQ(a.dual, b.dual);
+  EXPECT_EQ(a.measured, b.measured);
+}
+
+TEST(Campaign, DeterministicAcrossThreadCounts) {
+  const auto& w = small_world().world;
+  CampaignConfig one;
+  one.seed = 11;
+  one.threads = 1;
+  CampaignConfig many = one;
+  many.threads = 8;
+  Campaign c1(w, one), c8(w, many);
+  c1.run_round(1, 5);
+  c8.run_round(1, 5);
+  c1.finalize();
+  c8.finalize();
+  const auto& s1 = c1.results(1).all_series();
+  const auto& s8 = c8.results(1).all_series();
+  ASSERT_EQ(s1.size(), s8.size());
+  for (const auto& [site, obs1] : s1) {
+    const auto* obs8 = c8.results(1).series(site);
+    ASSERT_NE(obs8, nullptr);
+    ASSERT_EQ(obs1.size(), obs8->size());
+    for (std::size_t i = 0; i < obs1.size(); ++i) {
+      EXPECT_EQ(obs1[i].status, (*obs8)[i].status);
+      EXPECT_EQ(obs1[i].v4_speed_kBps, (*obs8)[i].v4_speed_kBps);
+      EXPECT_EQ(obs1[i].v6_speed_kBps, (*obs8)[i].v6_speed_kBps);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace v6mon::core

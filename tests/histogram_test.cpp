@@ -1,0 +1,64 @@
+#include "util/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace v6mon::util {
+namespace {
+
+TEST(Histogram, BinAssignment) {
+  Histogram h(0.0, 10.0, 10);
+  EXPECT_EQ(h.bin_of(0.0), 0u);
+  EXPECT_EQ(h.bin_of(0.5), 0u);
+  EXPECT_EQ(h.bin_of(1.0), 1u);
+  EXPECT_EQ(h.bin_of(9.99), 9u);
+  EXPECT_EQ(h.bin_of(10.0), 9u);   // clamps
+  EXPECT_EQ(h.bin_of(-5.0), 0u);   // clamps
+  EXPECT_EQ(h.bin_of(50.0), 9u);   // clamps
+}
+
+TEST(Histogram, BinEdges) {
+  Histogram h(-1.0, 1.0, 4);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), -1.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(0), -0.5);
+  EXPECT_DOUBLE_EQ(h.bin_lo(3), 0.5);
+  EXPECT_DOUBLE_EQ(h.bin_hi(3), 1.0);
+}
+
+TEST(Histogram, ModeAndMass) {
+  Histogram h(0.0, 3.0, 3);
+  h.add(0.5);
+  h.add(1.5);
+  h.add(1.6);
+  h.add(1.7);
+  h.add(2.5);
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.mode_bin(), 1u);
+  EXPECT_DOUBLE_EQ(h.mass_at(1.5), 3.0 / 5.0);
+  EXPECT_DOUBLE_EQ(h.mass_at(0.1), 1.0 / 5.0);
+}
+
+TEST(Histogram, InvalidConstruction) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), ConfigError);
+  EXPECT_THROW(Histogram(2.0, 1.0, 4), ConfigError);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), ConfigError);
+}
+
+TEST(Histogram, RenderShape) {
+  Histogram h(0.0, 1.0, 5);
+  for (int i = 0; i < 10; ++i) h.add(0.5);
+  const std::string s = h.render();
+  EXPECT_EQ(s.size(), 7u);  // '[' + 5 bins + ']'
+  EXPECT_EQ(s.front(), '[');
+  EXPECT_EQ(s.back(), ']');
+  EXPECT_EQ(s[3], '#');  // the mode bin renders at full level
+}
+
+TEST(Histogram, EmptyMass) {
+  Histogram h(0.0, 1.0, 5);
+  EXPECT_DOUBLE_EQ(h.mass_at(0.5), 0.0);
+}
+
+}  // namespace
+}  // namespace v6mon::util

@@ -1,0 +1,63 @@
+#include "ip/ipv4.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace v6mon::ip {
+namespace {
+
+TEST(Ipv4, ParseValid) {
+  EXPECT_EQ(Ipv4Address::parse("0.0.0.0")->value(), 0u);
+  EXPECT_EQ(Ipv4Address::parse("255.255.255.255")->value(), 0xffffffffu);
+  EXPECT_EQ(Ipv4Address::parse("192.0.2.1")->value(), 0xc0000201u);
+  EXPECT_EQ(Ipv4Address::parse("10.0.0.1")->value(), 0x0a000001u);
+}
+
+TEST(Ipv4, ParseInvalid) {
+  for (const char* bad :
+       {"", ".", "1.2.3", "1.2.3.4.5", "256.0.0.1", "1.2.3.999", "a.b.c.d",
+        "1..2.3", "1.2.3.4 ", " 1.2.3.4", "01.2.3.4", "1.2.3.-4", "1,2,3,4",
+        "1.2.3.4/24", "1.2.3.0x1"}) {
+    EXPECT_FALSE(Ipv4Address::parse(bad).has_value()) << bad;
+  }
+}
+
+TEST(Ipv4, ParseOrThrow) {
+  EXPECT_NO_THROW(Ipv4Address::parse_or_throw("1.2.3.4"));
+  EXPECT_THROW(Ipv4Address::parse_or_throw("nope"), v6mon::ParseError);
+}
+
+TEST(Ipv4, FormatRoundTrip) {
+  v6mon::util::Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const Ipv4Address a(rng.uniform_u32(0, 0xffffffffu));
+    const auto parsed = Ipv4Address::parse(a.to_string());
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, a);
+  }
+}
+
+TEST(Ipv4, OctetConstructor) {
+  constexpr Ipv4Address a(192, 0, 2, 1);
+  EXPECT_EQ(a.value(), 0xc0000201u);
+  EXPECT_EQ(a.to_string(), "192.0.2.1");
+}
+
+TEST(Ipv4, BitExtraction) {
+  const Ipv4Address a(0x80000001u);
+  EXPECT_TRUE(a.bit(0));
+  EXPECT_FALSE(a.bit(1));
+  EXPECT_FALSE(a.bit(30));
+  EXPECT_TRUE(a.bit(31));
+}
+
+TEST(Ipv4, Ordering) {
+  EXPECT_LT(Ipv4Address(1), Ipv4Address(2));
+  EXPECT_EQ(Ipv4Address(7), Ipv4Address(7));
+  EXPECT_GT(Ipv4Address(0xff000000u), Ipv4Address(0x0a000000u));
+}
+
+}  // namespace
+}  // namespace v6mon::ip

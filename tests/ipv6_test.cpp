@@ -1,0 +1,119 @@
+#include "ip/ipv6.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace v6mon::ip {
+namespace {
+
+TEST(Ipv6, ParseCanonicalForms) {
+  const auto a = Ipv6Address::parse("2001:db8:0:0:0:0:0:1");
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->group(0), 0x2001);
+  EXPECT_EQ(a->group(1), 0x0db8);
+  EXPECT_EQ(a->group(7), 0x0001);
+}
+
+TEST(Ipv6, ParseCompressed) {
+  EXPECT_EQ(*Ipv6Address::parse("2001:db8::1"), *Ipv6Address::parse("2001:db8:0:0:0:0:0:1"));
+  EXPECT_EQ(*Ipv6Address::parse("::1"), *Ipv6Address::parse("0:0:0:0:0:0:0:1"));
+  EXPECT_EQ(*Ipv6Address::parse("::"), Ipv6Address{});
+  EXPECT_EQ(*Ipv6Address::parse("fe80::"), *Ipv6Address::parse("fe80:0:0:0:0:0:0:0"));
+  EXPECT_EQ(*Ipv6Address::parse("a::b"), *Ipv6Address::parse("a:0:0:0:0:0:0:b"));
+}
+
+TEST(Ipv6, ParseEmbeddedV4) {
+  const auto a = Ipv6Address::parse("::ffff:192.0.2.1");
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->group(5), 0xffff);
+  EXPECT_EQ(a->group(6), 0xc000);
+  EXPECT_EQ(a->group(7), 0x0201);
+  const auto b = Ipv6Address::parse("64:ff9b::10.0.0.1");
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(b->group(6), 0x0a00);
+}
+
+TEST(Ipv6, ParseInvalid) {
+  for (const char* bad :
+       {"", ":", ":::", "1:2:3:4:5:6:7", "1:2:3:4:5:6:7:8:9", "2001:db8::1::2",
+        "g::1", "12345::", "1:2:3:4:5:6:7:", ":1:2:3:4:5:6:7", "::ffff:1.2.3",
+        "::ffff:1.2.3.4.5", "1.2.3.4", "2001:db8::192.0.2.1:1",
+        "2001:db8:0:0:0:0:0:0:1", "::ffff:300.0.0.1"}) {
+    EXPECT_FALSE(Ipv6Address::parse(bad).has_value()) << bad;
+  }
+}
+
+TEST(Ipv6, FullGroupsWithCompressionRejected) {
+  // '::' must replace at least one zero group.
+  EXPECT_FALSE(Ipv6Address::parse("1:2:3:4:5:6:7::8").has_value());
+  EXPECT_FALSE(Ipv6Address::parse("1:2:3:4::5:6:7:8").has_value());
+}
+
+TEST(Ipv6, Rfc5952Formatting) {
+  const std::pair<const char*, const char*> cases[] = {
+      {"2001:0db8:0000:0000:0000:0000:0000:0001", "2001:db8::1"},
+      {"2001:db8:0:1:1:1:1:1", "2001:db8:0:1:1:1:1:1"},  // 1-group run not compressed
+      {"2001:0:0:1:0:0:0:1", "2001:0:0:1::1"},            // longest run wins
+      {"2001:db8:0:0:1:0:0:1", "2001:db8::1:0:0:1"},      // leftmost on tie
+      {"0:0:0:0:0:0:0:0", "::"},
+      {"0:0:0:0:0:0:0:1", "::1"},
+      {"fe80:0:0:0:0:0:0:0", "fe80::"},
+      {"ABCD:EF01:2345:6789:ABCD:EF01:2345:6789",
+       "abcd:ef01:2345:6789:abcd:ef01:2345:6789"},
+  };
+  for (const auto& [input, expected] : cases) {
+    const auto a = Ipv6Address::parse(input);
+    ASSERT_TRUE(a.has_value()) << input;
+    EXPECT_EQ(a->to_string(), expected) << input;
+  }
+}
+
+TEST(Ipv6, FormatParseRoundTripRandom) {
+  v6mon::util::Rng rng(7);
+  for (int i = 0; i < 2000; ++i) {
+    std::array<std::uint16_t, 8> groups{};
+    for (auto& g : groups) {
+      // Bias toward zeros so compression paths get exercised.
+      g = rng.chance(0.5) ? 0 : static_cast<std::uint16_t>(rng.uniform_u32(0, 0xffff));
+    }
+    const auto a = Ipv6Address::from_groups(groups);
+    const auto parsed = Ipv6Address::parse(a.to_string());
+    ASSERT_TRUE(parsed.has_value()) << a.to_string();
+    EXPECT_EQ(*parsed, a) << a.to_string();
+  }
+}
+
+TEST(Ipv6, SixToFour) {
+  const Ipv4Address v4(192, 88, 99, 1);
+  const auto v6 = Ipv6Address::from_6to4(v4);
+  EXPECT_TRUE(v6.is_6to4());
+  EXPECT_EQ(v6.embedded_6to4_v4(), v4);
+  EXPECT_EQ(v6.group(0), 0x2002);
+  EXPECT_FALSE(Ipv6Address::parse("2001:db8::1")->is_6to4());
+}
+
+TEST(Ipv6, BitExtraction) {
+  const auto a = *Ipv6Address::parse("8000::1");
+  EXPECT_TRUE(a.bit(0));
+  EXPECT_FALSE(a.bit(1));
+  EXPECT_TRUE(a.bit(127));
+  EXPECT_FALSE(a.bit(126));
+}
+
+TEST(Ipv6, Ordering) {
+  EXPECT_LT(*Ipv6Address::parse("::1"), *Ipv6Address::parse("::2"));
+  EXPECT_LT(*Ipv6Address::parse("2001:db8::"), *Ipv6Address::parse("2002::"));
+}
+
+TEST(Ipv6, ParseOrThrow) {
+  EXPECT_NO_THROW(Ipv6Address::parse_or_throw("::1"));
+  EXPECT_THROW(Ipv6Address::parse_or_throw("zz"), v6mon::ParseError);
+}
+
+}  // namespace
+}  // namespace v6mon::ip

@@ -1,0 +1,108 @@
+#include "ip/prefix.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace v6mon::ip {
+namespace {
+
+TEST(Ipv4Prefix, ParseAndFormat) {
+  const auto p = Ipv4Prefix::parse("10.0.0.0/8");
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->length(), 8u);
+  EXPECT_EQ(p->to_string(), "10.0.0.0/8");
+}
+
+TEST(Ipv4Prefix, Canonicalization) {
+  const auto p = Ipv4Prefix::parse("10.1.2.3/8");
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->network().to_string(), "10.0.0.0");
+  EXPECT_EQ(*p, *Ipv4Prefix::parse("10.0.0.0/8"));
+}
+
+TEST(Ipv4Prefix, ParseInvalid) {
+  for (const char* bad : {"10.0.0.0", "10.0.0.0/33", "10.0.0.0/-1", "10.0.0.0/",
+                          "10.0.0.0/8x", "bad/8", "10.0.0.0/ 8"}) {
+    EXPECT_FALSE(Ipv4Prefix::parse(bad).has_value()) << bad;
+  }
+}
+
+TEST(Ipv4Prefix, ContainsAddress) {
+  const auto p = *Ipv4Prefix::parse("192.0.2.0/24");
+  EXPECT_TRUE(p.contains(Ipv4Address::parse_or_throw("192.0.2.0")));
+  EXPECT_TRUE(p.contains(Ipv4Address::parse_or_throw("192.0.2.255")));
+  EXPECT_FALSE(p.contains(Ipv4Address::parse_or_throw("192.0.3.0")));
+  EXPECT_FALSE(p.contains(Ipv4Address::parse_or_throw("192.0.1.255")));
+}
+
+TEST(Ipv4Prefix, ContainsPrefix) {
+  const auto p8 = *Ipv4Prefix::parse("10.0.0.0/8");
+  const auto p16 = *Ipv4Prefix::parse("10.1.0.0/16");
+  EXPECT_TRUE(p8.contains(p16));
+  EXPECT_FALSE(p16.contains(p8));
+  EXPECT_TRUE(p8.contains(p8));
+  EXPECT_FALSE(p8.contains(*Ipv4Prefix::parse("11.0.0.0/16")));
+}
+
+TEST(Ipv4Prefix, ZeroLengthContainsEverything) {
+  const auto def = *Ipv4Prefix::parse("0.0.0.0/0");
+  EXPECT_TRUE(def.contains(Ipv4Address::parse_or_throw("255.255.255.255")));
+  EXPECT_TRUE(def.contains(*Ipv4Prefix::parse("10.0.0.0/8")));
+}
+
+TEST(Ipv4Prefix, HostRoute) {
+  const auto host = *Ipv4Prefix::parse("192.0.2.7/32");
+  EXPECT_TRUE(host.contains(Ipv4Address::parse_or_throw("192.0.2.7")));
+  EXPECT_FALSE(host.contains(Ipv4Address::parse_or_throw("192.0.2.8")));
+}
+
+TEST(Ipv6Prefix, ParseAndContains) {
+  const auto p = Ipv6Prefix::parse("2001:db8::/32");
+  ASSERT_TRUE(p.has_value());
+  EXPECT_TRUE(p->contains(Ipv6Address::parse_or_throw("2001:db8::1")));
+  EXPECT_TRUE(p->contains(Ipv6Address::parse_or_throw("2001:db8:ffff::")));
+  EXPECT_FALSE(p->contains(Ipv6Address::parse_or_throw("2001:db9::")));
+}
+
+TEST(Ipv6Prefix, NonByteAlignedLength) {
+  const auto p = *Ipv6Prefix::parse("2001:d80::/29");  // 29 bits
+  EXPECT_TRUE(p.contains(Ipv6Address::parse_or_throw("2001:d87:ffff::1")));
+  EXPECT_FALSE(p.contains(Ipv6Address::parse_or_throw("2001:d88::")));
+}
+
+TEST(Ipv6Prefix, Canonicalization) {
+  EXPECT_EQ(*Ipv6Prefix::parse("2001:db8::dead:beef/32"),
+            *Ipv6Prefix::parse("2001:db8::/32"));
+}
+
+TEST(Ipv6Prefix, LengthBounds) {
+  EXPECT_TRUE(Ipv6Prefix::parse("::/0").has_value());
+  EXPECT_TRUE(Ipv6Prefix::parse("::1/128").has_value());
+  EXPECT_FALSE(Ipv6Prefix::parse("::/129").has_value());
+}
+
+TEST(MaskAddress, V4Cases) {
+  const auto a = Ipv4Address::parse_or_throw("203.0.113.200");
+  EXPECT_EQ(mask_address(a, 0).to_string(), "0.0.0.0");
+  EXPECT_EQ(mask_address(a, 24).to_string(), "203.0.113.0");
+  EXPECT_EQ(mask_address(a, 25).to_string(), "203.0.113.128");
+  EXPECT_EQ(mask_address(a, 32), a);
+}
+
+TEST(MaskAddress, V6Cases) {
+  const auto a = Ipv6Address::parse_or_throw("2001:db8:abcd:ef01::1");
+  EXPECT_EQ(mask_address(a, 0).to_string(), "::");
+  EXPECT_EQ(mask_address(a, 32).to_string(), "2001:db8::");
+  EXPECT_EQ(mask_address(a, 48).to_string(), "2001:db8:abcd::");
+  EXPECT_EQ(mask_address(a, 52).to_string(), "2001:db8:abcd:e000::");
+  EXPECT_EQ(mask_address(a, 128), a);
+}
+
+TEST(Family, Names) {
+  EXPECT_STREQ(family_name(Family::kIpv4), "IPv4");
+  EXPECT_STREQ(family_name(Family::kIpv6), "IPv6");
+}
+
+}  // namespace
+}  // namespace v6mon::ip

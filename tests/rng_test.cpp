@@ -1,0 +1,178 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+namespace v6mon::util {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.uniform_u64(0, 1'000'000), b.uniform_u64(0, 1'000'000));
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(42), b(43);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.uniform_u64(0, 1'000'000) == b.uniform_u64(0, 1'000'000)) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(Rng, ChildStreamsAreIndependentAndStable) {
+  Rng root(7);
+  Rng c1 = root.child("topology");
+  Rng c2 = root.child("topology");
+  Rng c3 = root.child("sites");
+  EXPECT_EQ(c1.seed(), c2.seed());
+  EXPECT_NE(c1.seed(), c3.seed());
+  // Indexed children differ from each other and from index 0.
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t i = 0; i < 64; ++i) seeds.insert(root.child("round", i).seed());
+  EXPECT_EQ(seeds.size(), 64u);
+}
+
+TEST(Rng, ChildDoesNotPerturbParent) {
+  Rng a(5), b(5);
+  (void)a.child("x");
+  EXPECT_EQ(a.uniform_u64(0, 1 << 30), b.uniform_u64(0, 1 << 30));
+}
+
+TEST(Rng, UniformBounds) {
+  Rng r(1);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = r.uniform_u64(10, 20);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 20u);
+    const double d = r.uniform01();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, IndexCoversRange) {
+  Rng r(2);
+  std::set<std::size_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(r.index(7));
+  EXPECT_EQ(seen.size(), 7u);
+  EXPECT_EQ(*seen.rbegin(), 6u);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng r(3);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.chance(0.0));
+    EXPECT_TRUE(r.chance(1.0));
+    EXPECT_FALSE(r.chance(-0.5));
+    EXPECT_TRUE(r.chance(1.5));
+  }
+}
+
+TEST(Rng, ChanceFrequency) {
+  Rng r(4);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hits += r.chance(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng r(5);
+  double sum = 0.0, sq = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double x = r.normal(10.0, 2.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.1);
+  EXPECT_NEAR(std::sqrt(var), 2.0, 0.1);
+}
+
+TEST(Rng, LognormalMedian) {
+  Rng r(6);
+  std::vector<double> xs;
+  const int n = 20001;
+  xs.reserve(n);
+  for (int i = 0; i < n; ++i) xs.push_back(r.lognormal_median(5.0, 0.5));
+  std::nth_element(xs.begin(), xs.begin() + n / 2, xs.end());
+  EXPECT_NEAR(xs[n / 2], 5.0, 0.25);
+  for (double x : xs) EXPECT_GT(x, 0.0);
+}
+
+TEST(Rng, ParetoBounds) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GE(r.pareto(2.0, 1.5), 2.0);
+  }
+}
+
+TEST(Rng, ZipfRangeAndSkew) {
+  Rng r(8);
+  std::map<std::uint64_t, int> counts;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const auto v = r.zipf(1000, 1.0);
+    ASSERT_GE(v, 1u);
+    ASSERT_LE(v, 1000u);
+    ++counts[v];
+  }
+  // Rank 1 must dominate rank 100 heavily under s=1.
+  EXPECT_GT(counts[1], counts[100] * 10);
+}
+
+TEST(Rng, ZipfDegenerate) {
+  Rng r(9);
+  EXPECT_EQ(r.zipf(1, 1.2), 1u);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng r(10);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  auto sorted = v;
+  r.shuffle(v);
+  auto shuffled_sorted = v;
+  std::sort(shuffled_sorted.begin(), shuffled_sorted.end());
+  EXPECT_EQ(shuffled_sorted, sorted);
+}
+
+TEST(Rng, ShuffleSmall) {
+  Rng r(11);
+  std::vector<int> empty;
+  r.shuffle(empty);
+  EXPECT_TRUE(empty.empty());
+  std::vector<int> one{42};
+  r.shuffle(one);
+  EXPECT_EQ(one[0], 42);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng r(12);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += r.exponential(3.0);
+  EXPECT_NEAR(sum / n, 3.0, 0.1);
+}
+
+TEST(HashCombine, Distinctness) {
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t s = 0; s < 16; ++s) {
+    for (std::uint64_t i = 0; i < 16; ++i) {
+      seen.insert(hash_combine(s, "a", i));
+      seen.insert(hash_combine(s, "b", i));
+    }
+  }
+  EXPECT_EQ(seen.size(), 16u * 16u * 2u);
+}
+
+}  // namespace
+}  // namespace v6mon::util

@@ -1,0 +1,182 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "bgp/route_computer.h"
+#include "scenario/paper.h"
+#include "scenario/world_builder.h"
+#include "util/error.h"
+
+namespace v6mon::scenario {
+namespace {
+
+WorldSpec tiny_spec(std::uint64_t seed) {
+  WorldSpec spec;
+  spec.seed = seed;
+  spec.topology.num_tier1 = 4;
+  spec.topology.num_transit = 25;
+  spec.topology.num_stub = 120;
+  spec.catalog.initial_sites = 2000;
+  spec.catalog.churn_per_round = 10;
+  spec.catalog.num_rounds = 8;
+  spec.catalog.adoption = {0.5, 0.4, 0.3, 0.2, 0.15, 0.12};
+  spec.vantage_points = {
+      {.name = "VP1",
+       .type = core::VantagePoint::Type::kAcademic,
+       .region = topo::Region::kNorthAmerica,
+       .start_round = 0,
+       .has_as_path = true,
+       .whitelisted = false,
+       .uses_dns_cache_supplement = false,
+       .num_v4_providers = 2,
+       .v6_mode = V6UplinkMode::kSameProviders},
+  };
+  return spec;
+}
+
+TEST(WorldBuilder, BuildsConsistentWorld) {
+  const auto world = build_world(tiny_spec(1));
+  EXPECT_GT(world.graph.num_ases(), 140u);
+  EXPECT_EQ(world.vantage_points.size(), 1u);
+  EXPECT_EQ(world.num_rounds, 8u);
+  const auto& vp = world.vantage_points[0];
+  EXPECT_NE(vp.asn, topo::kNoAs);
+  EXPECT_TRUE(world.graph.node(vp.asn).has_v6);
+  EXPECT_GT(vp.rib.v4_routes(), 0u);
+  EXPECT_GT(vp.rib.v6_routes(), 0u);
+  // v6 routes are a strict subset phenomenon: fewer than v4.
+  EXPECT_LT(vp.rib.v6_routes(), vp.rib.v4_routes());
+}
+
+TEST(WorldBuilder, Deterministic) {
+  const auto a = build_world(tiny_spec(42));
+  const auto b = build_world(tiny_spec(42));
+  EXPECT_EQ(a.graph.num_ases(), b.graph.num_ases());
+  EXPECT_EQ(a.graph.num_links(), b.graph.num_links());
+  EXPECT_EQ(a.catalog.size(), b.catalog.size());
+  EXPECT_EQ(a.vantage_points[0].rib.v4_routes(), b.vantage_points[0].rib.v4_routes());
+  EXPECT_EQ(a.vantage_points[0].rib.v6_routes(), b.vantage_points[0].rib.v6_routes());
+}
+
+TEST(WorldBuilder, RibPathsResolveSites) {
+  const auto world = build_world(tiny_spec(3));
+  const auto& vp = world.vantage_points[0];
+  int checked = 0;
+  for (const web::Site& s : world.catalog.sites()) {
+    if (checked > 200) break;
+    ++checked;
+    const auto* v4 = vp.rib.lookup_v4(s.v4_addr);
+    ASSERT_NE(v4, nullptr) << "IPv4 must be universally routed";
+    EXPECT_EQ(v4->origin, s.v4_as);
+    if (s.v6_from_round != web::kNever) {
+      const auto* v6 = vp.rib.lookup_v6(s.v6_addr);
+      if (v6 != nullptr) {
+      EXPECT_EQ(v6->origin, s.v6_as);
+    }
+    }
+  }
+}
+
+TEST(WorldBuilder, TunnelOverlayRepairsIslands) {
+  WorldSpec spec = tiny_spec(4);
+  spec.tunnels = false;
+  auto world = build_world(spec);
+
+  // Count v6 islands (v6 ASes with no native route to the core).
+  topo::Asn core = topo::kNoAs;
+  for (topo::Asn t1 : world.graph.ases_of_tier(topo::Tier::kTier1)) {
+    if (world.graph.node(t1).has_v6) {
+      core = t1;
+      break;
+    }
+  }
+  ASSERT_NE(core, topo::kNoAs);
+  const auto before = bgp::compute_routes_to(world.graph, ip::Family::kIpv6, core);
+  std::size_t islands = 0;
+  for (std::size_t i = 0; i < world.graph.num_ases(); ++i) {
+    const auto asn = static_cast<topo::Asn>(i);
+    if (world.graph.node(asn).has_v6 && asn != core && !before.reachable(asn)) {
+      ++islands;
+    }
+  }
+
+  util::Rng rng(9);
+  const TunnelStats stats =
+      apply_tunnel_overlay(world.graph, 4, 15.0, 0.85, rng);
+  EXPECT_GE(stats.islands, islands);  // 6to4 announcers are islands too
+  EXPECT_GT(stats.tunnels_added, 0u);
+  EXPECT_EQ(stats.tunnels_added, stats.islands);  // v4 is fully connected
+
+  // After the overlay, every island reaches the core over v6.
+  const auto after = bgp::compute_routes_to(world.graph, ip::Family::kIpv6, core);
+  for (std::size_t i = 0; i < world.graph.num_ases(); ++i) {
+    const auto asn = static_cast<topo::Asn>(i);
+    if (world.graph.node(asn).has_v6 && asn != core) {
+      EXPECT_TRUE(after.reachable(asn)) << "AS" << asn;
+    }
+  }
+}
+
+TEST(WorldBuilder, TunnelMetricsDeriveFromUnderlay) {
+  WorldSpec spec = tiny_spec(5);
+  const auto world = build_world(spec);
+  for (std::uint32_t i = 0; i < world.graph.num_links(); ++i) {
+    const topo::AsLink& l = world.graph.link(i);
+    if (!l.v6_tunnel) continue;
+    EXPECT_GE(l.tunnel_underlying_hops, 1u);
+    EXPECT_GT(l.metrics.latency_ms, 0.0);
+    EXPECT_GT(l.metrics.bandwidth_kBps, 0.0);
+    EXPECT_DOUBLE_EQ(l.tunnel_bandwidth_factor, 0.85);
+    EXPECT_FALSE(l.in_v4);
+    EXPECT_TRUE(l.in_v6);
+  }
+}
+
+TEST(PaperScenario, SpecMatchesTable1) {
+  const auto spec = paper_spec(1, /*scale=*/0.1);
+  ASSERT_EQ(spec.vantage_points.size(), 6u);
+  std::set<std::string> with_as_path, whitelisted;
+  for (const auto& vp : spec.vantage_points) {
+    if (vp.has_as_path) with_as_path.insert(vp.name);
+    if (vp.whitelisted) whitelisted.insert(vp.name);
+  }
+  EXPECT_EQ(with_as_path, (std::set<std::string>{"Penn", "Comcast", "LU", "UPCB"}));
+  EXPECT_EQ(whitelisted, (std::set<std::string>{"UPCB"}));
+  // Start order per Table 1: Penn < Comcast < UPCB < Tsinghua < LU < Go6.
+  std::uint32_t prev = 0;
+  for (const char* name : {"Penn", "Comcast", "UPCB", "Tsinghua", "LU", "Go6"}) {
+    for (const auto& vp : spec.vantage_points) {
+      if (vp.name == name) {
+        EXPECT_GE(vp.start_round, prev) << name;
+        prev = vp.start_round;
+      }
+    }
+  }
+  // Event rounds inside the calendar.
+  EXPECT_LT(spec.w6d_round, spec.catalog.num_rounds);
+}
+
+TEST(PaperScenario, SmallScaleWorldBuilds) {
+  const auto world = build_paper_world(123, /*scale=*/0.05);
+  EXPECT_EQ(world.vantage_points.size(), 6u);
+  const auto vps = paper_vp_indices(world);
+  EXPECT_EQ(world.vantage_points[vps.penn].name, "Penn");
+  EXPECT_TRUE(world.vantage_points[vps.penn].uses_dns_cache_supplement);
+  EXPECT_EQ(world.vantage_points[vps.upcb].name, "UPCB");
+  EXPECT_TRUE(world.vantage_points[vps.upcb].whitelisted);
+  // Reachability grows over the campaign with a jump at W6D.
+  const double start = world.catalog.reachability_at(0);
+  const double before_w6d = world.catalog.reachability_at(world.w6d_round - 1);
+  const double after_w6d = world.catalog.reachability_at(world.w6d_round);
+  const double end = world.catalog.reachability_at(world.num_rounds);
+  EXPECT_GT(end, start * 2);
+  EXPECT_GT(after_w6d - before_w6d, 0.001);
+}
+
+TEST(PaperScenario, RejectsBadScale) {
+  EXPECT_THROW(paper_spec(1, 0.0), v6mon::ConfigError);
+  EXPECT_THROW(paper_spec(1, 100.0), v6mon::ConfigError);
+}
+
+}  // namespace
+}  // namespace v6mon::scenario

@@ -1,0 +1,196 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "util/rng.h"
+
+namespace v6mon::util {
+namespace {
+
+TEST(RunningStats, Empty) {
+  RunningStats s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_TRUE(std::isinf(s.ci_halfwidth()));
+  EXPECT_FALSE(s.meets_relative_ci(0.10));
+}
+
+TEST(RunningStats, SingleSample) {
+  RunningStats s;
+  s.add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_TRUE(std::isinf(s.ci_halfwidth()));
+}
+
+TEST(RunningStats, KnownValues) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // unbiased
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  Rng r(1);
+  RunningStats whole, a, b;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = r.normal(3.0, 1.0);
+    whole.add(x);
+    (i % 2 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_NEAR(a.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), whole.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), whole.min());
+  EXPECT_DOUBLE_EQ(a.max(), whole.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, b;
+  a.add(1.0);
+  a.add(3.0);
+  const double mean_before = a.mean();
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.mean(), mean_before);
+  b.merge(a);
+  EXPECT_DOUBLE_EQ(b.mean(), mean_before);
+  EXPECT_EQ(b.count(), 2u);
+}
+
+TEST(RunningStats, ConstantSamplesMeetCiImmediately) {
+  RunningStats s;
+  s.add(10.0);
+  s.add(10.0);
+  EXPECT_TRUE(s.meets_relative_ci(0.10));
+  EXPECT_EQ(s.relative_ci_halfwidth(), 0.0);
+}
+
+TEST(RunningStats, NoisySamplesEventuallyMeetCi) {
+  Rng r(2);
+  RunningStats s;
+  int needed = 0;
+  while (!s.meets_relative_ci(0.10, 0.95)) {
+    s.add(r.normal(100.0, 20.0));
+    ASSERT_LT(++needed, 200);
+  }
+  // With cv = 0.2 and rel = 0.1, theory says roughly (1.96*2)^2 ≈ 16 samples.
+  EXPECT_GE(needed, 3);
+  EXPECT_LE(needed, 120);
+}
+
+TEST(RunningStats, ZeroMeanNeverMeetsRelativeCi) {
+  RunningStats s;
+  s.add(1.0);
+  s.add(-1.0);
+  s.add(1.0);
+  s.add(-1.0);
+  EXPECT_FALSE(s.meets_relative_ci(0.10));
+}
+
+TEST(StudentT, TableValues) {
+  EXPECT_NEAR(student_t_critical(0.95, 1), 12.706, 1e-3);
+  EXPECT_NEAR(student_t_critical(0.95, 10), 2.228, 1e-3);
+  EXPECT_NEAR(student_t_critical(0.95, 30), 2.042, 1e-3);
+  EXPECT_NEAR(student_t_critical(0.99, 5), 4.032, 1e-3);
+  EXPECT_NEAR(student_t_critical(0.90, 20), 1.725, 1e-3);
+}
+
+TEST(StudentT, LargeDfApproachesNormal) {
+  EXPECT_NEAR(student_t_critical(0.95, 1000), 1.962, 5e-3);
+  EXPECT_NEAR(student_t_critical(0.99, 1000), 2.581, 1e-2);
+  // Monotone decreasing in df.
+  double prev = student_t_critical(0.95, 31);
+  for (std::size_t df = 32; df < 200; ++df) {
+    const double cur = student_t_critical(0.95, df);
+    EXPECT_LE(cur, prev + 1e-12) << "df=" << df;
+    prev = cur;
+  }
+}
+
+TEST(StudentT, ContinuousAcrossTableBoundary) {
+  const double t30 = student_t_critical(0.95, 30);
+  const double t31 = student_t_critical(0.95, 31);
+  EXPECT_LT(std::fabs(t30 - t31), 0.01);
+}
+
+TEST(StudentT, ZeroDfIsInfinite) {
+  EXPECT_TRUE(std::isinf(student_t_critical(0.95, 0)));
+}
+
+TEST(Quantile, Basics) {
+  EXPECT_FALSE(quantile({}, 0.5).has_value());
+  EXPECT_DOUBLE_EQ(*quantile({3.0}, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(*median({1.0, 2.0, 3.0}), 2.0);
+  EXPECT_DOUBLE_EQ(*median({1.0, 2.0, 3.0, 4.0}), 2.5);
+  EXPECT_DOUBLE_EQ(*quantile({10.0, 20.0, 30.0, 40.0, 50.0}, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(*quantile({10.0, 20.0, 30.0, 40.0, 50.0}, 1.0), 50.0);
+  EXPECT_DOUBLE_EQ(*quantile({10.0, 20.0, 30.0, 40.0, 50.0}, 0.25), 20.0);
+}
+
+TEST(Quantile, UnsortedInput) {
+  EXPECT_DOUBLE_EQ(*median({5.0, 1.0, 3.0}), 3.0);
+}
+
+TEST(RelativeDiff, Cases) {
+  EXPECT_DOUBLE_EQ(relative_diff(11.0, 10.0), 0.1);
+  EXPECT_DOUBLE_EQ(relative_diff(9.0, 10.0), -0.1);
+  EXPECT_DOUBLE_EQ(relative_diff(0.0, 0.0), 0.0);
+  EXPECT_TRUE(std::isinf(relative_diff(1.0, 0.0)));
+}
+
+TEST(ComparableOrBetter, PaperRule) {
+  // IPv6 faster: always comparable.
+  EXPECT_TRUE(comparable_or_better(50.0, 40.0));
+  // Equal: comparable.
+  EXPECT_TRUE(comparable_or_better(40.0, 40.0));
+  // Within 10% slower: comparable.
+  EXPECT_TRUE(comparable_or_better(36.5, 40.0));
+  EXPECT_TRUE(comparable_or_better(36.0, 40.0));
+  // More than 10% slower: not comparable.
+  EXPECT_FALSE(comparable_or_better(35.9, 40.0));
+  EXPECT_FALSE(comparable_or_better(10.0, 40.0));
+  // Degenerate IPv4 == 0.
+  EXPECT_TRUE(comparable_or_better(0.0, 0.0));
+}
+
+class ComparableThresholdTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ComparableThresholdTest, ThresholdIsExactBoundary) {
+  const double tol = GetParam();
+  const double v4 = 100.0;
+  EXPECT_TRUE(comparable_or_better(v4 * (1.0 - tol), v4, tol));
+  EXPECT_FALSE(comparable_or_better(v4 * (1.0 - tol) - 0.001, v4, tol));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ComparableThresholdTest,
+                         ::testing::Values(0.05, 0.10, 0.15, 0.20, 0.30));
+
+// Property: the CI machinery has (approximately) its nominal coverage.
+// Draw many independent sample sets, and check the true mean falls inside
+// the 95% CI roughly 95% of the time.
+TEST(RunningStats, CiCoverageProperty) {
+  Rng r(99);
+  const double true_mean = 50.0;
+  int covered = 0;
+  const int trials = 2000;
+  for (int t = 0; t < trials; ++t) {
+    RunningStats s;
+    for (int i = 0; i < 20; ++i) s.add(r.normal(true_mean, 10.0));
+    const double hw = s.ci_halfwidth(0.95);
+    if (std::fabs(s.mean() - true_mean) <= hw) ++covered;
+  }
+  const double coverage = static_cast<double>(covered) / trials;
+  EXPECT_NEAR(coverage, 0.95, 0.02);
+}
+
+}  // namespace
+}  // namespace v6mon::util

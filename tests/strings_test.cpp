@@ -1,0 +1,57 @@
+#include "util/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace v6mon::util {
+namespace {
+
+TEST(Split, Basic) {
+  const auto parts = split("a,b,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(Split, KeepsEmptyFields) {
+  const auto parts = split(",x,,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "");
+  EXPECT_EQ(parts[1], "x");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(Split, NoDelimiter) {
+  const auto parts = split("whole", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "whole");
+}
+
+TEST(Trim, Basic) {
+  EXPECT_EQ(trim("  hi  "), "hi");
+  EXPECT_EQ(trim("\t\nx\r "), "x");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim("inner space kept"), "inner space kept");
+}
+
+TEST(Format, Printf) {
+  EXPECT_EQ(format("as%d path %.1f", 7, 2.5), "as7 path 2.5");
+  EXPECT_EQ(format("%s", ""), "");
+}
+
+TEST(IsDigits, Cases) {
+  EXPECT_TRUE(is_digits("0123"));
+  EXPECT_FALSE(is_digits(""));
+  EXPECT_FALSE(is_digits("12a"));
+  EXPECT_FALSE(is_digits("-1"));
+}
+
+TEST(Join, Cases) {
+  EXPECT_EQ(join({}, ", "), "");
+  EXPECT_EQ(join({"a"}, ", "), "a");
+  EXPECT_EQ(join({"a", "b", "c"}, " -> "), "a -> b -> c");
+}
+
+}  // namespace
+}  // namespace v6mon::util

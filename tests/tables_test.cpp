@@ -1,0 +1,280 @@
+#include "analysis/tables.h"
+
+#include <gtest/gtest.h>
+
+#include "core/campaign.h"
+#include "scenario/paper.h"
+
+namespace v6mon::analysis {
+namespace {
+
+/// One shared small paper world + campaign for all table tests (built
+/// once; the suite asserts structural invariants, not absolute numbers).
+struct Study {
+  core::World world;
+  std::unique_ptr<core::Campaign> campaign;
+  std::vector<VpReport> reports;
+  std::vector<VpReport> w6d_reports;
+
+  Study() {
+    world = scenario::build_paper_world(/*seed=*/77, /*scale=*/0.12);
+    core::CampaignConfig cfg = scenario::paper_campaign_config(77);
+    cfg.threads = 4;
+    cfg.w6d_mini_rounds = 8;
+    campaign = std::make_unique<core::Campaign>(world, cfg);
+    campaign->run();
+    campaign->run_w6d();
+    campaign->finalize();
+    std::vector<const core::ResultsDb*> dbs, w6d_dbs;
+    for (std::size_t i = 0; i < world.vantage_points.size(); ++i) {
+      dbs.push_back(&campaign->results(i));
+      w6d_dbs.push_back(&campaign->w6d_results(i));
+    }
+    reports = analyze_world(world, dbs);
+    AssessmentParams w6d_params;
+    w6d_params.min_rounds = 5;
+    w6d_reports = analyze_world(world, w6d_dbs, w6d_params);
+  }
+};
+
+Study& study() {
+  static Study s;
+  return s;
+}
+
+TEST(Tables, ReportsCoverAsPathVpsOnly) {
+  ASSERT_EQ(study().reports.size(), 4u);  // Penn, Comcast, UPCB, LU
+  for (const auto& r : study().reports) {
+    EXPECT_TRUE(r.name == "Penn" || r.name == "Comcast" || r.name == "UPCB" ||
+                r.name == "LU");
+    EXPECT_FALSE(r.assessments.empty());
+    EXPECT_EQ(r.assessments.size(), r.kept.size() + r.removed.size());
+  }
+}
+
+TEST(Tables, Fig1SeriesIsMonotoneAndJumpsAtW6d) {
+  const auto series = fig1_series(study().world.catalog, study().world.num_rounds);
+  ASSERT_EQ(series.size(), study().world.num_rounds + 1);
+  EXPECT_GT(series.back().reachability, series.front().reachability);
+  const auto w6d = study().world.w6d_round;
+  EXPECT_GT(series[w6d].reachability - series[w6d - 1].reachability, 0.0005);
+  // Rendering produces one row per round.
+  EXPECT_EQ(fig1_table(series).rows(), series.size());
+}
+
+TEST(Tables, Fig3aHigherRanksMoreReachable) {
+  const auto buckets = fig3a_buckets(study().world.catalog, study().world.num_rounds);
+  ASSERT_EQ(buckets.size(), 6u);
+  // Top-1k reachability must clearly exceed the overall list's (the top-10
+  // bucket has only 10 sites at this scale — too noisy to assert on).
+  EXPECT_GT(buckets[2].reachability, buckets[5].reachability * 2);
+  // Bucket populations nest.
+  for (std::size_t i = 1; i < buckets.size(); ++i) {
+    EXPECT_GE(buckets[i].sites, buckets[i - 1].sites);
+  }
+  EXPECT_EQ(fig3a_table(buckets).rows(), 6u);
+}
+
+TEST(Tables, Fig3bSamplesComparable) {
+  const VpReport* penn = nullptr;
+  for (const auto& r : study().reports) {
+    if (r.name == "Penn") penn = &r;
+  }
+  ASSERT_NE(penn, nullptr);
+  const auto f = fig3b_sample_bias(*penn, study().world.catalog);
+  EXPECT_GT(f.all_n, f.top_list_n);  // the supplement adds sites
+  EXPECT_GT(f.top_list_n, 0u);
+  // The paper's point: both samples agree closely on how often IPv6 wins.
+  EXPECT_NEAR(f.top_list_v6_faster, f.all_sites_v6_faster, 0.10);
+  EXPECT_EQ(fig3b_table(f).rows(), 2u);
+}
+
+TEST(Tables, Table2ProfilesInvariants) {
+  const auto t = table2_profiles(study().reports);
+  ASSERT_EQ(t.cols.size(), 5u);  // 4 VPs + All
+  const auto& all = t.cols.back();
+  EXPECT_EQ(all.vp, "All");
+  for (std::size_t i = 0; i + 1 < t.cols.size(); ++i) {
+    const auto& c = t.cols[i];
+    EXPECT_GE(c.sites_total, c.sites_kept);
+    EXPECT_GT(c.sites_kept, 0u);
+    // More v4 destinations than v6 destinations (DL splits + 6to4).
+    EXPECT_GE(c.crossed_v4, c.dest_ases_v4);
+    EXPECT_GE(c.crossed_v6, c.dest_ases_v6);
+    // v6 topology is sparser everywhere in this era.
+    EXPECT_LT(c.crossed_v6, c.crossed_v4);
+    // The union column dominates each VP.
+    EXPECT_GE(all.dest_ases_v4, c.dest_ases_v4);
+    EXPECT_GE(all.crossed_v6, c.crossed_v6);
+  }
+  EXPECT_EQ(table2_render(t).rows(), 6u);
+}
+
+TEST(Tables, Table3AccountsForAllRemovals) {
+  const auto rows = table3_sanitization(study().reports);
+  ASSERT_EQ(rows.size(), 4u);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& r = rows[i];
+    const std::size_t total =
+        r.insufficient + r.step_up + r.step_down + r.trend_up + r.trend_down;
+    EXPECT_EQ(total, study().reports[i].removed.size()) << r.vp;
+    EXPECT_LE(r.step_up_path_change, r.step_up);
+    EXPECT_LE(r.step_down_path_change, r.step_down);
+    // The catalog injects both steps and trends; expect some of each kind
+    // in aggregate (per VP they can be zero at this scale).
+  }
+  EXPECT_EQ(table3_render(rows).rows(), 4u);
+}
+
+TEST(Tables, Table4MatchesCategoryCounts) {
+  const auto rows = table4_classification(study().reports);
+  ASSERT_EQ(rows.size(), 4u);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto counts = study().reports[i].kept_counts();
+    EXPECT_EQ(rows[i].dl, counts.dl);
+    EXPECT_EQ(rows[i].sp, counts.sp);
+    EXPECT_EQ(rows[i].dp, counts.dp);
+    EXPECT_EQ(rows[i].dl + rows[i].sp + rows[i].dp,
+              study().reports[i].kept_classified.size());
+  }
+  // The paper's Table 4 shape: Penn is DP-dominated, and the parity VPs
+  // (UPCB/LU) have a far higher SP share than Penn.
+  const auto sp_share = [](const Table4Row& r) {
+    return static_cast<double>(r.sp) / static_cast<double>(r.sp + r.dp);
+  };
+  const Table4Row* penn = &rows[0];
+  EXPECT_GT(penn->dp, penn->sp * 3);
+  for (const auto& r : rows) {
+    if (r.vp == "UPCB" || r.vp == "LU") {
+      EXPECT_GT(sp_share(r), 2.0 * sp_share(*penn)) << r.vp;
+    }
+  }
+}
+
+TEST(Tables, Table5OnlyCountsTransitionRemovals) {
+  const auto rows = table5_removed_bias(study().reports);
+  const auto t3 = table3_sanitization(study().reports);
+  ASSERT_EQ(rows.size(), 4u);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const std::size_t table5_total = rows[i].sp_good + rows[i].sp_bad +
+                                     rows[i].dp_good + rows[i].dp_bad +
+                                     rows[i].dl_good + rows[i].dl_bad;
+    const std::size_t transitions =
+        t3[i].step_up + t3[i].step_down + t3[i].trend_up + t3[i].trend_down;
+    // Classified transition-removals can be fewer than transitions (some
+    // lack origin info) but never more.
+    EXPECT_LE(table5_total, transitions);
+  }
+  EXPECT_EQ(table5_render(rows).rows(), 6u);
+}
+
+TEST(Tables, Table6DlFavorsV4) {
+  const auto rows = table6_dl_perf(study().reports);
+  for (const auto& r : rows) {
+    if (r.sites < 20) continue;
+    EXPECT_GT(r.pct_v4_ge_v6, 0.6) << r.vp;
+    EXPECT_GT(r.v4_perf, r.v6_perf) << r.vp;
+  }
+  EXPECT_EQ(table6_render(rows).rows(), 4u);
+}
+
+TEST(Tables, Table7TunnelArtifactAtLowHopCounts) {
+  const auto rows = table7_hopcount_dldp(study().reports);
+  // Site counts per family must equal the DL+DP population.
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto counts = study().reports[i].kept_counts();
+    std::size_t v4_total = 0, v6_total = 0;
+    for (const auto& b : rows[i].v4) v4_total += b.sites;
+    for (const auto& b : rows[i].v6) v6_total += b.sites;
+    EXPECT_EQ(v4_total, counts.dl + counts.dp);
+    EXPECT_EQ(v6_total, counts.dl + counts.dp);
+  }
+  EXPECT_GT(hopcount_render(rows).rows(), 0u);
+}
+
+TEST(Tables, Table9SpPerformanceSimilarPerBucket) {
+  const auto rows = table9_hopcount_sp(study().reports);
+  for (const auto& r : rows) {
+    for (std::size_t b = 0; b < kHopBuckets; ++b) {
+      // SP sites share one path: both families have identical bucket counts.
+      EXPECT_EQ(r.v4[b].sites, r.v6[b].sites) << r.vp << " bucket " << b;
+      if (r.v4[b].sites < 15) continue;
+      // And closely matching speeds (H1 at per-hop-count granularity).
+      EXPECT_NEAR(r.v6[b].mean_speed / r.v4[b].mean_speed, 1.0, 0.15)
+          << r.vp << " bucket " << b;
+    }
+  }
+}
+
+TEST(Tables, Table8And11Shapes) {
+  const auto sp = table8_sp(study().reports);
+  const auto dp = table11_dp(study().reports);
+  ASSERT_EQ(sp.size(), 4u);
+  ASSERT_EQ(dp.size(), 4u);
+  double sp_sim = 0, sp_tot = 0, dp_sim = 0, dp_tot = 0;
+  for (const auto& c : sp) {
+    EXPECT_EQ(c.shares.total,
+              c.shares.similar + c.shares.zero_mode + c.shares.small_n + c.shares.other);
+    sp_sim += static_cast<double>(c.shares.similar);
+    sp_tot += static_cast<double>(c.shares.total);
+  }
+  for (const auto& c : dp) {
+    dp_sim += static_cast<double>(c.shares.similar);
+    dp_tot += static_cast<double>(c.shares.total);
+  }
+  ASSERT_GT(sp_tot, 0);
+  ASSERT_GT(dp_tot, 0);
+  // H1: most SP ASes similar. H2: far fewer DP ASes similar.
+  EXPECT_GT(sp_sim / sp_tot, 0.6);
+  EXPECT_LT(dp_sim / dp_tot, 0.5 * (sp_sim / sp_tot));
+  // Cross-checks mostly agree.
+  for (const auto& c : sp) {
+    EXPECT_GE(c.xcheck_pos, c.xcheck_neg * 3) << c.vp;
+  }
+  EXPECT_GT(table8_render(sp).rows(), 0u);
+  EXPECT_GT(table11_render(dp).rows(), 0u);
+}
+
+TEST(Tables, W6dTables10And12) {
+  ASSERT_FALSE(study().w6d_reports.empty());
+  const auto sp = table8_sp(study().w6d_reports);
+  const auto dp = table11_dp(study().w6d_reports);
+  double sp_sim = 0, sp_tot = 0, dp_sim = 0, dp_tot = 0;
+  for (const auto& c : sp) {
+    sp_sim += static_cast<double>(c.shares.similar);
+    sp_tot += static_cast<double>(c.shares.total);
+  }
+  for (const auto& c : dp) {
+    dp_sim += static_cast<double>(c.shares.similar + c.shares.zero_mode);
+    dp_tot += static_cast<double>(c.shares.total);
+  }
+  ASSERT_GT(sp_tot, 0);
+  ASSERT_GT(dp_tot, 0);
+  // Participants' servers are fully v6-qualified: SP similarity is high.
+  EXPECT_GT(sp_sim / sp_tot, 0.7);
+  // DP participants fare better than the general DP population (paper:
+  // ~50% vs ~10%), but clearly below SP.
+  EXPECT_LT(dp_sim / dp_tot, sp_sim / sp_tot);
+  EXPECT_GT(table10_render(sp).rows(), 0u);
+  EXPECT_GT(table12_render(dp).rows(), 0u);
+}
+
+TEST(Tables, Table13GoodAsCoverage) {
+  const auto cols = table13_good_as(study().reports);
+  ASSERT_EQ(cols.size(), 4u);
+  for (const auto& c : cols) {
+    if (c.coverage.paths < 20) continue;
+    double total = 0.0;
+    for (std::size_t b = 0; b < 5; ++b) total += c.coverage.frac(b);
+    EXPECT_NEAR(total, 1.0, 1e-9);
+    // The paper's key observation: full-good DP paths are a minority (the
+    // destination itself must be exonerated from another vantage point).
+    // The small test world is generous here; the paper-scale bench shows
+    // the sharper split.
+    EXPECT_LT(c.coverage.frac(0), 0.7) << c.vp;
+  }
+  EXPECT_EQ(table13_render(cols).rows(), 6u);
+}
+
+}  // namespace
+}  // namespace v6mon::analysis

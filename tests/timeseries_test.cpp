@@ -1,0 +1,175 @@
+#include "util/timeseries.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/rng.h"
+
+namespace v6mon::util {
+namespace {
+
+std::vector<double> constant(std::size_t n, double v) {
+  return std::vector<double>(n, v);
+}
+
+TEST(MedianFilter, ConstantSeriesUnchanged) {
+  const auto xs = constant(20, 5.0);
+  EXPECT_EQ(median_filter(xs, 11), xs);
+}
+
+TEST(MedianFilter, RemovesSpike) {
+  auto xs = constant(21, 10.0);
+  xs[10] = 1000.0;
+  const auto filtered = median_filter(xs, 5);
+  for (double v : filtered) EXPECT_DOUBLE_EQ(v, 10.0);
+}
+
+TEST(MedianFilter, EmptyAndTiny) {
+  EXPECT_TRUE(median_filter({}, 3).empty());
+  const auto one = median_filter({7.0}, 11);
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_DOUBLE_EQ(one[0], 7.0);
+}
+
+TEST(DetectStep, NoStepOnConstant) {
+  const auto r = detect_step(constant(60, 10.0));
+  EXPECT_EQ(r.direction, StepDirection::kNone);
+}
+
+TEST(DetectStep, NoStepOnMildNoise) {
+  Rng rng(1);
+  std::vector<double> xs;
+  for (int i = 0; i < 80; ++i) xs.push_back(rng.normal(100.0, 5.0));
+  const auto r = detect_step(xs);
+  EXPECT_EQ(r.direction, StepDirection::kNone);
+}
+
+TEST(DetectStep, DetectsUpwardStep) {
+  std::vector<double> xs = constant(30, 10.0);
+  const auto after = constant(30, 20.0);
+  xs.insert(xs.end(), after.begin(), after.end());
+  const auto r = detect_step(xs, 11, 0.30);
+  EXPECT_EQ(r.direction, StepDirection::kUp);
+  EXPECT_NEAR(static_cast<double>(r.change_index), 30.0, 1.0);
+  EXPECT_NEAR(r.magnitude, 2.0, 0.1);
+}
+
+TEST(DetectStep, DetectsDownwardStep) {
+  std::vector<double> xs = constant(30, 100.0);
+  const auto after = constant(30, 40.0);
+  xs.insert(xs.end(), after.begin(), after.end());
+  const auto r = detect_step(xs, 11, 0.30);
+  EXPECT_EQ(r.direction, StepDirection::kDown);
+  EXPECT_NEAR(r.magnitude, 0.4, 0.05);
+}
+
+TEST(DetectStep, IgnoresStepBelowThreshold) {
+  std::vector<double> xs = constant(30, 100.0);
+  const auto after = constant(30, 115.0);  // +15% < 30% threshold
+  xs.insert(xs.end(), after.begin(), after.end());
+  const auto r = detect_step(xs, 11, 0.30);
+  EXPECT_EQ(r.direction, StepDirection::kNone);
+}
+
+TEST(DetectStep, IgnoresShortExcursion) {
+  // 4 high samples then back: fewer than the 6 consecutive the paper needs.
+  std::vector<double> xs = constant(30, 100.0);
+  for (int i = 0; i < 4; ++i) xs.push_back(200.0);
+  const auto tail = constant(30, 100.0);
+  xs.insert(xs.end(), tail.begin(), tail.end());
+  const auto r = detect_step(xs, 11, 0.30);
+  EXPECT_EQ(r.direction, StepDirection::kNone);
+}
+
+TEST(DetectStep, TooShortSeries) {
+  const auto r = detect_step(constant(10, 5.0), 11, 0.30);
+  EXPECT_EQ(r.direction, StepDirection::kNone);
+}
+
+TEST(DetectStep, NoisyStepStillDetected) {
+  Rng rng(2);
+  std::vector<double> xs;
+  for (int i = 0; i < 40; ++i) xs.push_back(rng.normal(50.0, 2.0));
+  for (int i = 0; i < 40; ++i) xs.push_back(rng.normal(100.0, 4.0));
+  const auto r = detect_step(xs, 11, 0.30);
+  EXPECT_EQ(r.direction, StepDirection::kUp);
+  EXPECT_NEAR(static_cast<double>(r.change_index), 40.0, 3.0);
+}
+
+TEST(LinearFit, PerfectLine) {
+  std::vector<double> ys;
+  for (int i = 0; i < 20; ++i) ys.push_back(3.0 + 2.0 * i);
+  const auto fit = linear_fit(ys);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-9);
+  EXPECT_NEAR(fit.intercept, 3.0, 1e-9);
+  EXPECT_NEAR(fit.r2, 1.0, 1e-9);
+}
+
+TEST(LinearFit, FlatLine) {
+  const auto fit = linear_fit(constant(15, 4.0));
+  EXPECT_NEAR(fit.slope, 0.0, 1e-12);
+}
+
+TEST(LinearFit, TooFewPoints) {
+  const auto fit = linear_fit({1.0, 2.0});
+  EXPECT_EQ(fit.slope, 0.0);
+  EXPECT_EQ(fit.n, 2u);
+}
+
+TEST(DetectTrend, NoTrendOnNoise) {
+  Rng rng(3);
+  std::vector<double> ys;
+  for (int i = 0; i < 50; ++i) ys.push_back(rng.normal(100.0, 10.0));
+  EXPECT_EQ(detect_trend(ys), Trend::kNone);
+}
+
+TEST(DetectTrend, DetectsUpwardDrift) {
+  Rng rng(4);
+  std::vector<double> ys;
+  for (int i = 0; i < 50; ++i) ys.push_back(100.0 + 1.5 * i + rng.normal(0.0, 3.0));
+  EXPECT_EQ(detect_trend(ys), Trend::kUp);
+}
+
+TEST(DetectTrend, DetectsDownwardDrift) {
+  Rng rng(5);
+  std::vector<double> ys;
+  for (int i = 0; i < 50; ++i) ys.push_back(150.0 - 1.5 * i + rng.normal(0.0, 3.0));
+  EXPECT_EQ(detect_trend(ys), Trend::kDown);
+}
+
+TEST(DetectTrend, SignificantButTinyDriftIgnored) {
+  // Perfectly linear but total drift is only 5% of the mean: the paper's
+  // "steady trend" category targets material drifts.
+  std::vector<double> ys;
+  for (int i = 0; i < 50; ++i) ys.push_back(100.0 + 0.1 * i);
+  EXPECT_EQ(detect_trend(ys, 0.30), Trend::kNone);
+}
+
+TEST(DetectTrend, ShortSeries) {
+  EXPECT_EQ(detect_trend({1.0, 2.0, 3.0}), Trend::kNone);
+}
+
+// Property sweep: detection threshold behaves monotonically — a larger
+// step magnitude is never harder to detect.
+class StepMagnitudeTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(StepMagnitudeTest, MagnitudeAboveThresholdDetected) {
+  const double mag = GetParam();
+  std::vector<double> xs = constant(30, 100.0);
+  const auto after = constant(30, 100.0 * mag);
+  xs.insert(xs.end(), after.begin(), after.end());
+  const auto r = detect_step(xs, 11, 0.30);
+  if (mag > 1.30 || mag < 0.70) {
+    EXPECT_NE(r.direction, StepDirection::kNone) << "mag=" << mag;
+  } else {
+    EXPECT_EQ(r.direction, StepDirection::kNone) << "mag=" << mag;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, StepMagnitudeTest,
+                         ::testing::Values(0.2, 0.5, 0.69, 0.8, 1.0, 1.2, 1.29,
+                                           1.35, 1.7, 3.0));
+
+}  // namespace
+}  // namespace v6mon::util

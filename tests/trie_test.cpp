@@ -1,0 +1,173 @@
+#include "ip/trie.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace v6mon::ip {
+namespace {
+
+TEST(PrefixTrie, EmptyLookup) {
+  PrefixTrie<Ipv4Address, int> t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.lookup(Ipv4Address(123)), nullptr);
+  EXPECT_FALSE(t.lookup_entry(Ipv4Address(123)).has_value());
+}
+
+TEST(PrefixTrie, InsertFindErase) {
+  PrefixTrie<Ipv4Address, std::string> t;
+  const auto p = *Ipv4Prefix::parse("10.0.0.0/8");
+  EXPECT_TRUE(t.insert(p, "ten"));
+  EXPECT_EQ(t.size(), 1u);
+  ASSERT_NE(t.find(p), nullptr);
+  EXPECT_EQ(*t.find(p), "ten");
+  EXPECT_FALSE(t.insert(p, "ten2"));  // overwrite
+  EXPECT_EQ(*t.find(p), "ten2");
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_TRUE(t.erase(p));
+  EXPECT_FALSE(t.erase(p));
+  EXPECT_TRUE(t.empty());
+}
+
+TEST(PrefixTrie, LongestPrefixMatch) {
+  PrefixTrie<Ipv4Address, int> t;
+  t.insert(*Ipv4Prefix::parse("0.0.0.0/0"), 0);
+  t.insert(*Ipv4Prefix::parse("10.0.0.0/8"), 8);
+  t.insert(*Ipv4Prefix::parse("10.1.0.0/16"), 16);
+  t.insert(*Ipv4Prefix::parse("10.1.2.0/24"), 24);
+
+  EXPECT_EQ(*t.lookup(Ipv4Address::parse_or_throw("10.1.2.3")), 24);
+  EXPECT_EQ(*t.lookup(Ipv4Address::parse_or_throw("10.1.9.9")), 16);
+  EXPECT_EQ(*t.lookup(Ipv4Address::parse_or_throw("10.9.9.9")), 8);
+  EXPECT_EQ(*t.lookup(Ipv4Address::parse_or_throw("11.0.0.1")), 0);
+}
+
+TEST(PrefixTrie, LookupEntryReturnsMatchedPrefix) {
+  PrefixTrie<Ipv4Address, int> t;
+  t.insert(*Ipv4Prefix::parse("10.0.0.0/8"), 8);
+  t.insert(*Ipv4Prefix::parse("10.1.0.0/16"), 16);
+  const auto e = t.lookup_entry(Ipv4Address::parse_or_throw("10.1.2.3"));
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e->first.to_string(), "10.1.0.0/16");
+  EXPECT_EQ(e->second, 16);
+}
+
+TEST(PrefixTrie, NoDefaultRouteMeansMiss) {
+  PrefixTrie<Ipv4Address, int> t;
+  t.insert(*Ipv4Prefix::parse("10.0.0.0/8"), 8);
+  EXPECT_EQ(t.lookup(Ipv4Address::parse_or_throw("11.0.0.1")), nullptr);
+}
+
+TEST(PrefixTrie, Ipv6Lpm) {
+  PrefixTrie<Ipv6Address, int> t;
+  t.insert(*Ipv6Prefix::parse("2001:db8::/32"), 32);
+  t.insert(*Ipv6Prefix::parse("2001:db8:1::/48"), 48);
+  t.insert(*Ipv6Prefix::parse("2002::/16"), 16);
+  EXPECT_EQ(*t.lookup(Ipv6Address::parse_or_throw("2001:db8:1::5")), 48);
+  EXPECT_EQ(*t.lookup(Ipv6Address::parse_or_throw("2001:db8:2::5")), 32);
+  EXPECT_EQ(*t.lookup(Ipv6Address::parse_or_throw("2002:aabb::1")), 16);
+  EXPECT_EQ(t.lookup(Ipv6Address::parse_or_throw("2003::1")), nullptr);
+}
+
+TEST(PrefixTrie, HostRoutes) {
+  PrefixTrie<Ipv4Address, int> t;
+  t.insert(*Ipv4Prefix::parse("192.0.2.7/32"), 1);
+  EXPECT_EQ(*t.lookup(Ipv4Address::parse_or_throw("192.0.2.7")), 1);
+  EXPECT_EQ(t.lookup(Ipv4Address::parse_or_throw("192.0.2.8")), nullptr);
+}
+
+TEST(PrefixTrie, ForEachVisitsAllInOrder) {
+  PrefixTrie<Ipv4Address, int> t;
+  t.insert(*Ipv4Prefix::parse("10.0.0.0/8"), 1);
+  t.insert(*Ipv4Prefix::parse("9.0.0.0/8"), 2);
+  t.insert(*Ipv4Prefix::parse("10.1.0.0/16"), 3);
+  std::vector<std::string> seen;
+  t.for_each([&](const Ipv4Prefix& p, int) { seen.push_back(p.to_string()); });
+  ASSERT_EQ(seen.size(), 3u);
+  EXPECT_EQ(seen[0], "9.0.0.0/8");
+  EXPECT_EQ(seen[1], "10.0.0.0/8");
+  EXPECT_EQ(seen[2], "10.1.0.0/16");
+}
+
+// Property test: the trie must agree with a brute-force linear scan on
+// random route tables and random lookups, for both families.
+TEST(PrefixTrie, OracleComparisonV4) {
+  v6mon::util::Rng rng(11);
+  PrefixTrie<Ipv4Address, int> trie;
+  std::map<Ipv4Prefix, int> routes;
+  for (int i = 0; i < 400; ++i) {
+    const unsigned len = static_cast<unsigned>(rng.uniform_int(0, 28));
+    const Ipv4Prefix p(Ipv4Address(rng.uniform_u32(0, 0xffffffffu)), len);
+    routes[p] = i;
+    trie.insert(p, i);
+  }
+  EXPECT_EQ(trie.size(), routes.size());
+  for (int q = 0; q < 3000; ++q) {
+    const Ipv4Address addr(rng.uniform_u32(0, 0xffffffffu));
+    const int* got = trie.lookup(addr);
+    // Oracle: longest matching prefix wins; ties impossible (same prefix
+    // implies same map key).
+    const std::pair<const Ipv4Prefix, int>* best = nullptr;
+    for (const auto& kv : routes) {
+      if (kv.first.contains(addr) &&
+          (best == nullptr || kv.first.length() > best->first.length())) {
+        best = &kv;
+      }
+    }
+    if (best == nullptr) {
+      EXPECT_EQ(got, nullptr);
+    } else {
+      ASSERT_NE(got, nullptr);
+      EXPECT_EQ(*got, best->second);
+    }
+  }
+}
+
+TEST(PrefixTrie, OracleComparisonV6) {
+  v6mon::util::Rng rng(12);
+  PrefixTrie<Ipv6Address, int> trie;
+  std::vector<std::pair<Ipv6Prefix, int>> routes;
+  for (int i = 0; i < 200; ++i) {
+    std::array<std::uint16_t, 8> g{};
+    for (auto& x : g) x = static_cast<std::uint16_t>(rng.uniform_u32(0, 0xffff));
+    const unsigned len = static_cast<unsigned>(rng.uniform_int(0, 64));
+    const Ipv6Prefix p(Ipv6Address::from_groups(g), len);
+    trie.insert(p, i);
+    // Mirror overwrite semantics in the oracle.
+    bool replaced = false;
+    for (auto& kv : routes) {
+      if (kv.first == p) {
+        kv.second = i;
+        replaced = true;
+        break;
+      }
+    }
+    if (!replaced) routes.emplace_back(p, i);
+  }
+  for (int q = 0; q < 1500; ++q) {
+    std::array<std::uint16_t, 8> g{};
+    for (auto& x : g) x = static_cast<std::uint16_t>(rng.uniform_u32(0, 0xffff));
+    const Ipv6Address addr = Ipv6Address::from_groups(g);
+    const int* got = trie.lookup(addr);
+    const std::pair<Ipv6Prefix, int>* best = nullptr;
+    for (const auto& kv : routes) {
+      if (kv.first.contains(addr) &&
+          (best == nullptr || kv.first.length() > best->first.length())) {
+        best = &kv;
+      }
+    }
+    if (best == nullptr) {
+      EXPECT_EQ(got, nullptr);
+    } else {
+      ASSERT_NE(got, nullptr);
+      EXPECT_EQ(*got, best->second);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace v6mon::ip
