@@ -19,8 +19,13 @@ std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
 }  // namespace
 
 const Study& Study::instance() {
-  static const Study study = [] {
-    Study s;
+  // The Campaign stores a `const World&`; the study must therefore be
+  // initialized *in place* (building a local Study and returning it by
+  // value would leave the campaign referencing the dead local unless NRVO
+  // happened to fire — a stack-use-after-scope ASan would flag).
+  static Study study;
+  static const bool initialized = [] {
+    Study& s = study;
     s.seed = env_u64("V6MON_BENCH_SEED", 2011);
     s.scale = env_double("V6MON_BENCH_SCALE", 1.0);
     std::fprintf(stderr, "[bench] building world (seed=%llu scale=%.2f)...\n",
@@ -43,8 +48,9 @@ const Study& Study::instance() {
     s.w6d_reports = analysis::analyze_world(s.world, w6d);
     std::fprintf(stderr, "[bench] analysis ready (%zu vantage points)\n",
                  s.reports.size());
-    return s;
+    return true;
   }();
+  (void)initialized;
   return study;
 }
 

@@ -26,9 +26,16 @@ struct Study {
   std::uint64_t seed = 2011;
   double scale = 1.0;
   core::World world;
+  /// References `world` — declared after it so destruction (reverse
+  /// order) tears the campaign down first. Study is non-copyable for the
+  /// same reason.
   std::unique_ptr<core::Campaign> campaign;
   std::vector<analysis::VpReport> reports;      ///< Regular campaign.
   std::vector<analysis::VpReport> w6d_reports;  ///< World IPv6 Day event.
+
+  Study() = default;
+  Study(const Study&) = delete;
+  Study& operator=(const Study&) = delete;
 
   static const Study& instance();
 };

@@ -1,5 +1,7 @@
 #include "analysis/classify.h"
 
+#include "util/contracts.h"
+
 namespace v6mon::analysis {
 
 std::vector<ClassifiedSite> classify_sites(
@@ -24,9 +26,17 @@ std::vector<ClassifiedSite> classify_sites(
         // Both local to the vantage point's AS: identical (empty) paths.
         c.category = Category::kSp;
       }
+      // SL sites (same AS) split exactly into SP ∪ DP; a DL label here
+      // would contradict the equal-origin branch we are in.
+      V6MON_ASSERT(c.category == Category::kSp || c.category == Category::kDp,
+                   "same-origin site must be SP or DP");
     }
+    V6MON_ENSURE(c.dest_as != topo::kNoAs,
+                 "classified sites carry a destination AS");
     out.push_back(c);
   }
+  V6MON_ENSURE(out.size() <= assessments.size(),
+               "classification cannot invent sites");
   return out;
 }
 
@@ -37,8 +47,13 @@ CategoryCounts count_categories(const std::vector<ClassifiedSite>& sites) {
       case Category::kDl: ++counts.dl; break;
       case Category::kSp: ++counts.sp; break;
       case Category::kDp: ++counts.dp; break;
+      default: V6MON_UNREACHABLE("Category enum out of range");
     }
   }
+  // The DL / SP / DP partition is exhaustive and disjoint (Fig. 4): every
+  // site lands in exactly one bucket.
+  V6MON_ENSURE(counts.dl + counts.sp + counts.dp == sites.size(),
+               "category partition must cover every classified site");
   return counts;
 }
 

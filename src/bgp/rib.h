@@ -4,8 +4,11 @@
 #include <optional>
 #include <vector>
 
+#include <algorithm>
+
 #include "ip/trie.h"
 #include "topo/as_graph.h"
+#include "util/contracts.h"
 
 namespace v6mon::bgp {
 
@@ -18,6 +21,18 @@ struct RibEntry {
   [[nodiscard]] unsigned hop_count() const {
     return static_cast<unsigned>(as_path.size());
   }
+
+  /// Path-vector loop freedom: BGP discards any announcement whose AS_PATH
+  /// already contains the local AS, so an installed path never repeats an
+  /// AS. O(n^2) over paths that are a handful of hops long.
+  [[nodiscard]] bool loop_free() const {
+    for (std::size_t i = 0; i < as_path.size(); ++i) {
+      for (std::size_t j = i + 1; j < as_path.size(); ++j) {
+        if (as_path[i] == as_path[j]) return false;
+      }
+    }
+    return true;
+  }
 };
 
 /// The dual-stack BGP routing table of (a router near) one vantage point.
@@ -27,9 +42,11 @@ struct RibEntry {
 class Rib {
  public:
   void add_v4(const ip::Ipv4Prefix& prefix, RibEntry entry) {
+    check_entry(entry);
     v4_.insert(prefix, std::move(entry));
   }
   void add_v6(const ip::Ipv6Prefix& prefix, RibEntry entry) {
+    check_entry(entry);
     v6_.insert(prefix, std::move(entry));
   }
 
@@ -55,6 +72,12 @@ class Rib {
   }
 
  private:
+  static void check_entry(const RibEntry& entry) {
+    V6MON_ASSERT(entry.loop_free(), "AS_PATH repeats an AS (routing loop)");
+    V6MON_ASSERT(entry.as_path.empty() || entry.as_path.back() == entry.origin,
+                 "AS_PATH must terminate at the origin AS");
+  }
+
   ip::PrefixTrie<ip::Ipv4Address, RibEntry> v4_;
   ip::PrefixTrie<ip::Ipv6Address, RibEntry> v6_;
 };

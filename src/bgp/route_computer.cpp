@@ -3,6 +3,7 @@
 #include <cassert>
 #include <queue>
 
+#include "util/contracts.h"
 #include "util/error.h"
 #include "util/rng.h"
 
@@ -34,6 +35,10 @@ std::vector<Asn> RouteTable::as_path(Asn src) const {
     path.push_back(nh);
     cur = nh;
   }
+  V6MON_ENSURE(!path.empty() && path.back() == dest_,
+               "AS_PATH must terminate at the destination");
+  V6MON_ENSURE(path.size() == length_[src],
+               "selected route length disagrees with the next-hop chain");
   return path;
 }
 
@@ -152,51 +157,61 @@ RouteTable compute_routes_to(const AsGraph& graph, ip::Family family, Asn dest) 
     }
   }
 
+  V6MON_ENSURE(t.cls_[dest] == RouteClass::kOrigin && t.length_[dest] == 0,
+               "the destination must keep its origin route");
   return t;
 }
 
 namespace {
 
-/// Role of `to` relative to `from` across the (unique) from-to link in the
-/// given family; kNoAs-equivalent failure is reported via found=false.
-bool step_role(const AsGraph& graph, ip::Family family, Asn from, Asn to,
-               Role& role_out) {
+/// Roles `to` can play relative to `from` across the from-to links carried
+/// by the given family. A pair of ASes can be connected by more than one
+/// link in a family (e.g. a native relationship link plus a v6 tunnel
+/// pseudo-link), so this returns every distinct option.
+struct StepRoles {
+  bool provider = false;
+  bool peer = false;
+  bool customer = false;
+  [[nodiscard]] bool any() const { return provider || peer || customer; }
+};
+
+StepRoles step_roles(const AsGraph& graph, ip::Family family, Asn from, Asn to) {
+  StepRoles roles;
   for (const Adjacency& adj : graph.adjacencies(from)) {
     if (adj.neighbor != to) continue;
     if (!graph.link_in_family(adj.link_id, family)) continue;
-    role_out = adj.role;
-    return true;
+    switch (adj.role) {
+      case Role::kProvider: roles.provider = true; break;
+      case Role::kPeer: roles.peer = true; break;
+      case Role::kCustomer: roles.customer = true; break;
+    }
   }
-  return false;
+  return roles;
 }
 
 }  // namespace
 
-bool is_valley_free(const AsGraph& graph, Asn src, const std::vector<Asn>& path) {
+bool is_valley_free(const AsGraph& graph, ip::Family family, Asn src,
+                    const std::vector<Asn>& path) {
   if (path.empty()) return true;
   // Phases: 0 = climbing (up edges), 1 = after the single peer edge,
-  // 2 = descending (down edges only).
+  // 2 = descending (down edges only). Legality is monotone in the phase
+  // (everything legal at phase 1/2 is legal at phase 0), so when a step
+  // has several role options the greedy choice — the one leaving the
+  // smallest phase — never rules out a viable continuation.
   int phase = 0;
   Asn prev = src;
-  // The family does not change the valley-free rule; check against any
-  // family the step exists in, preferring an exact per-family check when
-  // the caller needs one (tests pass family-filtered paths).
   for (Asn cur : path) {
-    Role role;
-    bool found = step_role(graph, ip::Family::kIpv4, prev, cur, role);
-    if (!found) found = step_role(graph, ip::Family::kIpv6, prev, cur, role);
-    if (!found) return false;  // path uses a non-existent adjacency
-    switch (role) {
-      case Role::kProvider:  // prev -> its provider: uphill
-        if (phase != 0) return false;
-        break;
-      case Role::kPeer:
-        if (phase != 0) return false;
-        phase = 1;
-        break;
-      case Role::kCustomer:  // downhill
-        phase = 2;
-        break;
+    const StepRoles roles = step_roles(graph, family, prev, cur);
+    if (!roles.any()) return false;  // path uses a non-existent adjacency
+    if (roles.provider && phase == 0) {
+      // uphill: stay in phase 0
+    } else if (roles.peer && phase == 0) {
+      phase = 1;
+    } else if (roles.customer) {
+      phase = 2;  // downhill
+    } else {
+      return false;
     }
     prev = cur;
   }

@@ -69,10 +69,13 @@ class RouteTable {
 [[nodiscard]] RouteTable compute_routes_to(const topo::AsGraph& graph,
                                            ip::Family family, topo::Asn dest);
 
-/// Classify one step src->nbr as uphill / peer / downhill, and verify a
-/// whole AS path is valley-free (up* [peer] down*). Used by tests and by
-/// debug assertions; a policy-routing bug would show up here first.
-[[nodiscard]] bool is_valley_free(const topo::AsGraph& graph, topo::Asn src,
+/// Verify a whole AS path is valley-free (up* [peer] down*) using only the
+/// links carried by `family` — a pair of ASes may be connected by several
+/// links with different roles (native + tunnel pseudo-link), and a step is
+/// accepted if any same-family option keeps the path valid. Used by tests
+/// and by debug assertions; a policy-routing bug would show up here first.
+[[nodiscard]] bool is_valley_free(const topo::AsGraph& graph, ip::Family family,
+                                  topo::Asn src,
                                   const std::vector<topo::Asn>& path);
 
 }  // namespace v6mon::bgp

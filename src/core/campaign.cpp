@@ -4,6 +4,7 @@
 #include <thread>
 
 #include "core/thread_pool.h"
+#include "util/contracts.h"
 #include "web/dns_backend.h"
 
 namespace v6mon::core {
@@ -24,6 +25,7 @@ Campaign::Campaign(const World& world, CampaignConfig config)
 void Campaign::run_sites(std::size_t vp_index, std::uint32_t round,
                          const std::vector<std::uint32_t>& sites, ResultsDb& db,
                          std::uint64_t salt) {
+  V6MON_REQUIRE(vp_index < monitors_.size(), "vantage point index out of range");
   const Monitor& monitor = monitors_[vp_index];
   const web::CatalogDnsBackend backend(world_.catalog);
   const util::Rng root(config_.seed);
@@ -56,6 +58,8 @@ void Campaign::run_sites(std::size_t vp_index, std::uint32_t round,
 }
 
 void Campaign::run_round(std::size_t vp_index, std::uint32_t round) {
+  V6MON_REQUIRE(vp_index < world_.vantage_points.size(),
+                "vantage point index out of range");
   const VantagePoint& vp = world_.vantage_points[vp_index];
   if (round < vp.start_round) return;
   ResultsDb& db = *results_[vp_index];
@@ -77,6 +81,10 @@ void Campaign::run_round(std::size_t vp_index, std::uint32_t round) {
     }
     work.push_back(s.id);
   }
+  // Fast-pathed + queued sites together must account for every listed
+  // site — losing work here silently skews every downstream table.
+  V6MON_ENSURE(work.size() <= listed,
+               "work list cannot exceed the listed population");
   db.count_listed(round, listed);
 
   // Randomize monitoring order (the paper randomizes per round to avoid

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "transport/path.h"
+#include "util/contracts.h"
 #include "util/stats.h"
 
 namespace v6mon::core {
@@ -50,6 +51,12 @@ Monitor::FamilyMeasurement Monitor::measure_family(
   m.mean_time_s = times.mean();
   m.speed_kBps = page_kb / m.mean_time_s;
   m.samples = static_cast<std::uint16_t>(times.count());
+  // Fig. 2 loop postconditions: the sample budget was respected and the
+  // derived speed is a usable number.
+  V6MON_ENSURE(m.samples <= config_.max_downloads,
+               "CI loop exceeded the download budget");
+  V6MON_ENSURE(m.mean_time_s > 0.0 && std::isfinite(m.speed_kBps),
+               "measured download must yield a finite positive speed");
   return m;
 }
 

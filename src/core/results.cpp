@@ -11,7 +11,9 @@ namespace v6mon::core {
 std::string PathRegistry::key_of(const std::vector<topo::Asn>& path) {
   std::string key;
   key.resize(path.size() * sizeof(topo::Asn));
-  std::memcpy(key.data(), path.data(), key.size());
+  // An empty path has data() == nullptr; memcpy requires non-null even
+  // for a zero-byte copy.
+  if (!path.empty()) std::memcpy(key.data(), path.data(), key.size());
   return key;
 }
 

@@ -1,5 +1,6 @@
 #include "core/thread_pool.h"
 
+#include "util/contracts.h"
 #include "util/error.h"
 
 namespace v6mon::core {
@@ -12,18 +13,27 @@ ThreadPool::ThreadPool(std::size_t threads) {
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { shutdown(); }
+
+void ThreadPool::shutdown() {
   {
     std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) return;  // idempotent; workers already joined or joining
     stop_ = true;
   }
   cv_task_.notify_all();
-  for (std::thread& t : workers_) t.join();
+  for (std::thread& t : workers_) {
+    if (t.joinable()) t.join();
+  }
+  V6MON_ENSURE(active_ == 0, "workers exited while tasks were running");
 }
 
 void ThreadPool::submit(std::function<void()> task) {
+  V6MON_ASSERT(task != nullptr, "ThreadPool::submit needs a callable task");
   {
     std::lock_guard<std::mutex> lock(mu_);
+    V6MON_REQUIRE(!stop_, "ThreadPool::submit after shutdown");
+    if (stop_) throw Error("ThreadPool::submit after shutdown");
     queue_.push_back(std::move(task));
   }
   cv_task_.notify_one();
@@ -44,11 +54,17 @@ void ThreadPool::worker_loop() {
       task = std::move(queue_.front());
       queue_.pop_front();
       ++active_;
+      V6MON_ASSERT(active_ <= workers_.size(),
+                   "more tasks in flight than worker threads");
     }
     task();
     {
       std::lock_guard<std::mutex> lock(mu_);
+      V6MON_ASSERT(active_ > 0, "active_ underflow");
       --active_;
+      // Notify while holding the lock: a waiter between predicate check
+      // and sleep cannot miss this wakeup, because we cannot reach here
+      // before it blocks.
       if (queue_.empty() && active_ == 0) cv_idle_.notify_all();
     }
   }

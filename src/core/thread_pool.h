@@ -22,11 +22,20 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueue a task.
+  /// Enqueue a task. Precondition (V6MON_REQUIRE, throws v6mon::Error in
+  /// checked builds): the pool has not been shut down — submitting after
+  /// `shutdown()` / during destruction is a programmer error, and silently
+  /// dropping or running such a task would race the joining workers.
   void submit(std::function<void()> task);
 
-  /// Block until the queue is drained and all workers are idle.
+  /// Block until the queue is drained and all workers are idle. Safe to
+  /// call from several threads; returns when the pool is *momentarily*
+  /// idle (concurrent producers can enqueue more work afterwards).
   void wait_idle();
+
+  /// Drain remaining tasks and join all workers. Idempotent; called by the
+  /// destructor. After shutdown, `submit` rejects new work.
+  void shutdown();
 
   [[nodiscard]] std::size_t thread_count() const { return workers_.size(); }
 

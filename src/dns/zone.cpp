@@ -1,8 +1,11 @@
 #include "dns/zone.h"
 
+#include "util/contracts.h"
+
 namespace v6mon::dns {
 
 void ZoneDb::add(ResourceRecord record) {
+  V6MON_REQUIRE(!record.name.empty(), "DNS records need an owner name");
   by_name_[record.name].push_back(std::move(record));
   ++records_;
 }
@@ -19,6 +22,8 @@ std::vector<ResourceRecord> ZoneDb::query(std::string_view name, RecordType type
   for (const ResourceRecord& r : it->second) {
     if (r.type == type) out.push_back(r);
   }
+  V6MON_ENSURE(out.size() <= it->second.size(),
+               "a query cannot return more records than the zone holds");
   return out;
 }
 

@@ -103,7 +103,8 @@ std::optional<Ipv6Address> Ipv6Address::parse(std::string_view text) {
     for (char c : token) {
       const int d = hex_digit(c);
       if (d < 0) return std::nullopt;
-      g = static_cast<std::uint16_t>((g << 4) | static_cast<unsigned>(d));
+      g = static_cast<std::uint16_t>((static_cast<unsigned>(g) << 4) |
+                                     static_cast<unsigned>(d));
     }
     if (!push_group(g)) return std::nullopt;
     i += token.size();

@@ -41,7 +41,8 @@ class Ipv6Address {
 
   /// Extract the i-th bit from the top (bit 0 = most significant).
   [[nodiscard]] bool bit(unsigned i) const {
-    return (bytes_[i / 8] >> (7u - i % 8)) & 1u;
+    const unsigned byte = bytes_[i / 8];
+    return ((byte >> (7u - i % 8)) & 1u) != 0;
   }
 
   /// True for addresses in 2002::/16 (6to4, RFC 3056).

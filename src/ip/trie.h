@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "ip/prefix.h"
+#include "util/contracts.h"
 
 namespace v6mon::ip {
 
@@ -29,10 +30,15 @@ class PrefixTrie {
   /// Insert or overwrite. Returns true if a new prefix was added, false
   /// if an existing value was replaced.
   bool insert(const PrefixT& prefix, Value value) {
+    V6MON_REQUIRE(prefix.length() <= Addr::kBits,
+                  "prefix longer than the address width");
     Node* node = walk_to(prefix, /*create=*/true);
+    V6MON_ASSERT(node != nullptr, "walk_to(create) must materialize the node");
     const bool fresh = !node->value.has_value();
     node->value = std::move(value);
     if (fresh) ++size_;
+    V6MON_ENSURE(node->value.has_value() && size_ > 0,
+                 "insert must leave the prefix present");
     return fresh;
   }
 
@@ -41,6 +47,7 @@ class PrefixTrie {
   bool erase(const PrefixT& prefix) {
     Node* node = walk_to(prefix, /*create=*/false);
     if (node == nullptr || !node->value.has_value()) return false;
+    V6MON_ASSERT(size_ > 0, "erase of a present prefix implies size_ > 0");
     node->value.reset();
     --size_;
     return true;

@@ -4,6 +4,7 @@
 #include <set>
 
 #include "bgp/route_computer.h"
+#include "util/contracts.h"
 #include "util/error.h"
 
 namespace v6mon::scenario {
@@ -241,12 +242,20 @@ void build_ribs(core::World& world) {
         bgp::RibEntry e;
         e.origin = dest;
         e.as_path = v4_table.as_path(vp.asn);
+        // Gao-Rexford: every path BGP selects must be valley-free; a
+        // violation here means compute_routes_to leaked an invalid export.
+        V6MON_ASSERT(
+            bgp::is_valley_free(g, ip::Family::kIpv4, vp.asn, e.as_path),
+            "selected IPv4 route violates valley-freedom");
         for (const auto& p : dn.v4_prefixes) vp.rib.add_v4(p, e);
       }
       if (v6_table && v6_table->reachable(vp.asn)) {
         bgp::RibEntry e;
         e.origin = dest;
         e.as_path = v6_table->as_path(vp.asn);
+        V6MON_ASSERT(
+            bgp::is_valley_free(g, ip::Family::kIpv6, vp.asn, e.as_path),
+            "selected IPv6 route violates valley-freedom");
         for (const auto& p : dn.v6_prefixes) {
           // 6to4 space is covered by the anycast 2002::/16 route above.
           if (p.network().is_6to4()) continue;

@@ -1,7 +1,10 @@
 #include "transport/path.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
+
+#include "util/contracts.h"
 
 namespace v6mon::transport {
 
@@ -40,6 +43,13 @@ PathCharacteristics characterize_path(const topo::AsGraph& graph, topo::Asn src,
     pc.bottleneck_kBps = 1.0e6;
   }
   pc.valid = true;
+  // A valid path is physically plausible: positive finite bottleneck,
+  // non-negative latency, and at least one underlying hop per AS hop.
+  V6MON_ENSURE(pc.bottleneck_kBps > 0.0 && std::isfinite(pc.bottleneck_kBps),
+               "valid path needs a positive finite bottleneck");
+  V6MON_ENSURE(pc.rtt_ms >= 0.0, "negative RTT");
+  V6MON_ENSURE(pc.underlying_hops >= pc.as_hops,
+               "underlying hop count cannot undercut the AS hop count");
   return pc;
 }
 

@@ -1,0 +1,42 @@
+#include "util/contracts.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace v6mon::util {
+
+namespace {
+std::atomic<ContractAbortHandler> g_abort_handler{nullptr};
+}  // namespace
+
+ContractAbortHandler set_contract_abort_handler(ContractAbortHandler handler) noexcept {
+  return g_abort_handler.exchange(handler);
+}
+
+void contract_violated(const char* kind, const char* expr, const char* file,
+                       int line, const char* msg) {
+  std::fprintf(stderr, "v6mon contract violated [%s] at %s:%d: %s%s%s\n", kind,
+               file, line, expr, msg != nullptr ? " — " : "",
+               msg != nullptr ? msg : "");
+  std::fflush(stderr);
+  if (ContractAbortHandler handler = g_abort_handler.load()) handler();
+  std::abort();
+}
+
+void contract_require_failed(const char* expr, const char* file, int line,
+                             const char* msg) {
+  std::string what(expr);
+  what += " at ";
+  what += file;
+  what += ':';
+  what += std::to_string(line);
+  if (msg != nullptr) {
+    what += " — ";
+    what += msg;
+  }
+  throw ContractError(what);
+}
+
+}  // namespace v6mon::util

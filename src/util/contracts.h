@@ -1,0 +1,116 @@
+#pragma once
+
+#include "util/error.h"
+
+/// Contract / invariant macros for v6mon.
+///
+/// Policy (see DESIGN.md "Correctness tooling"):
+///  * `V6MON_REQUIRE(cond[, msg])` — API-boundary precondition on *caller*
+///    behaviour (programmer error, not runtime input). Checked builds throw
+///    `v6mon::ContractError` (a `v6mon::Error`), so misuse is testable and
+///    survivable. Runtime-input validation keeps explicit `ParseError` /
+///    `ConfigError` throws and is never compiled out.
+///  * `V6MON_ASSERT(cond[, msg])` — internal invariant in the middle of an
+///    algorithm. Checked builds print and abort (sanitizers get a clean
+///    stack); there is no sensible recovery.
+///  * `V6MON_ENSURE(cond[, msg])` — postcondition; same behaviour as
+///    `V6MON_ASSERT`, spelled differently so readers know it guards what a
+///    function promises rather than what it assumes.
+///  * `V6MON_UNREACHABLE(msg)` — control flow that must not happen. Checked
+///    builds abort; unchecked builds compile to `__builtin_unreachable()`,
+///    i.e. an optimizer hint.
+///
+/// Checking is governed by `V6MON_CONTRACT_LEVEL` (0 = off, 1 = on), which
+/// the build system sets: ON for Debug, RelWithDebInfo and every sanitizer
+/// configuration, OFF only for plain Release. When off, condition macros
+/// expand to an *unevaluated* operand (`sizeof`), so the expression still
+/// has to compile but produces no code and no side effects — a violated
+/// contract in Release is never converted into `__builtin_unreachable()`
+/// UB.
+#ifndef V6MON_CONTRACT_LEVEL
+#ifdef NDEBUG
+#define V6MON_CONTRACT_LEVEL 0
+#else
+#define V6MON_CONTRACT_LEVEL 1
+#endif
+#endif
+
+namespace v6mon {
+
+/// Thrown by `V6MON_REQUIRE` in checked builds.
+class ContractError : public Error {
+ public:
+  explicit ContractError(const std::string& what)
+      : Error("contract violated: " + what) {}
+};
+
+namespace util {
+
+/// Called by `V6MON_ASSERT` / `V6MON_ENSURE` / `V6MON_UNREACHABLE` on
+/// violation: prints `kind`, the stringized expression, location and
+/// optional message to stderr, then calls the installed handler (default:
+/// `std::abort`). Never returns.
+[[noreturn]] void contract_violated(const char* kind, const char* expr,
+                                    const char* file, int line,
+                                    const char* msg);
+
+/// Test hook: replace the post-print action. The handler must not return
+/// normally (throwing is allowed); if it does, `std::abort` runs anyway.
+/// Returns the previous handler.
+/// Intended for death-test-averse environments; production code must not
+/// install handlers.
+using ContractAbortHandler = void (*)();
+ContractAbortHandler set_contract_abort_handler(ContractAbortHandler handler) noexcept;
+
+/// Formats and throws `ContractError` (out-of-line to keep call sites
+/// small).
+[[noreturn]] void contract_require_failed(const char* expr, const char* file,
+                                          int line, const char* msg);
+
+}  // namespace util
+}  // namespace v6mon
+
+// Dispatch helpers: allow `V6MON_ASSERT(cond)` and `V6MON_ASSERT(cond, "msg")`.
+#define V6MON_CONTRACT_SELECT_(a, b, name, ...) name
+
+#if V6MON_CONTRACT_LEVEL >= 1
+
+#define V6MON_CONTRACT_CHECK_(kind, cond, msg)                               \
+  ((cond) ? static_cast<void>(0)                                             \
+          : ::v6mon::util::contract_violated(kind, #cond, __FILE__, __LINE__, msg))
+#define V6MON_REQUIRE_CHECK_(cond, msg)   \
+  ((cond) ? static_cast<void>(0)          \
+          : ::v6mon::util::contract_require_failed(#cond, __FILE__, __LINE__, msg))
+
+#define V6MON_ASSERT1_(cond) V6MON_CONTRACT_CHECK_("assert", cond, nullptr)
+#define V6MON_ASSERT2_(cond, msg) V6MON_CONTRACT_CHECK_("assert", cond, msg)
+#define V6MON_ENSURE1_(cond) V6MON_CONTRACT_CHECK_("ensure", cond, nullptr)
+#define V6MON_ENSURE2_(cond, msg) V6MON_CONTRACT_CHECK_("ensure", cond, msg)
+#define V6MON_REQUIRE1_(cond) V6MON_REQUIRE_CHECK_(cond, nullptr)
+#define V6MON_REQUIRE2_(cond, msg) V6MON_REQUIRE_CHECK_(cond, msg)
+
+#define V6MON_UNREACHABLE(msg) \
+  ::v6mon::util::contract_violated("unreachable", "reached", __FILE__, __LINE__, msg)
+
+#else  // V6MON_CONTRACT_LEVEL == 0: unevaluated, zero-code expansions.
+
+#define V6MON_CONTRACT_NOOP_(cond) \
+  static_cast<void>(sizeof((cond) ? 1 : 0))
+
+#define V6MON_ASSERT1_(cond) V6MON_CONTRACT_NOOP_(cond)
+#define V6MON_ASSERT2_(cond, msg) V6MON_CONTRACT_NOOP_(cond)
+#define V6MON_ENSURE1_(cond) V6MON_CONTRACT_NOOP_(cond)
+#define V6MON_ENSURE2_(cond, msg) V6MON_CONTRACT_NOOP_(cond)
+#define V6MON_REQUIRE1_(cond) V6MON_CONTRACT_NOOP_(cond)
+#define V6MON_REQUIRE2_(cond, msg) V6MON_CONTRACT_NOOP_(cond)
+
+#define V6MON_UNREACHABLE(msg) __builtin_unreachable()
+
+#endif  // V6MON_CONTRACT_LEVEL
+
+#define V6MON_ASSERT(...) \
+  V6MON_CONTRACT_SELECT_(__VA_ARGS__, V6MON_ASSERT2_, V6MON_ASSERT1_)(__VA_ARGS__)
+#define V6MON_ENSURE(...) \
+  V6MON_CONTRACT_SELECT_(__VA_ARGS__, V6MON_ENSURE2_, V6MON_ENSURE1_)(__VA_ARGS__)
+#define V6MON_REQUIRE(...) \
+  V6MON_CONTRACT_SELECT_(__VA_ARGS__, V6MON_REQUIRE2_, V6MON_REQUIRE1_)(__VA_ARGS__)

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/contracts.h"
 #include "util/error.h"
 
 namespace v6mon::util {
@@ -18,7 +19,12 @@ std::size_t Histogram::bin_of(double x) const {
   if (x >= hi_) return counts_.size() - 1;
   const double frac = (x - lo_) / (hi_ - lo_);
   auto bin = static_cast<std::size_t>(frac * static_cast<double>(counts_.size()));
-  return std::min(bin, counts_.size() - 1);
+  bin = std::min(bin, counts_.size() - 1);
+  // Bin monotonicity: edges form a strictly increasing sequence, so the
+  // selected bin is a non-empty interval inside [lo, hi].
+  V6MON_ENSURE(bin < counts_.size() && bin_lo(bin) < bin_hi(bin),
+               "histogram bin edges must be strictly increasing");
+  return bin;
 }
 
 void Histogram::add(double x) {
@@ -27,6 +33,7 @@ void Histogram::add(double x) {
 }
 
 double Histogram::bin_lo(std::size_t bin) const {
+  V6MON_REQUIRE(bin <= counts_.size(), "bin index out of range");
   return lo_ + (hi_ - lo_) * static_cast<double>(bin) / static_cast<double>(counts_.size());
 }
 

@@ -4,9 +4,12 @@
 #include <cmath>
 #include <cstddef>
 
+#include "util/contracts.h"
+
 namespace v6mon::util {
 
 void RunningStats::add(double x) {
+  V6MON_ASSERT(std::isfinite(x), "RunningStats cannot aggregate NaN/inf samples");
   ++n_;
   const double delta = x - mean_;
   mean_ += delta / static_cast<double>(n_);
@@ -47,8 +50,12 @@ double RunningStats::stderror() const {
 }
 
 double RunningStats::ci_halfwidth(double confidence) const {
+  V6MON_REQUIRE(confidence > 0.0 && confidence < 1.0,
+                "confidence level must be in (0, 1)");
   if (n_ < 2) return std::numeric_limits<double>::infinity();
-  return student_t_critical(confidence, n_ - 1) * stderror();
+  const double hw = student_t_critical(confidence, n_ - 1) * stderror();
+  V6MON_ENSURE(hw >= 0.0, "CI half-width cannot be negative");
+  return hw;
 }
 
 double RunningStats::relative_ci_halfwidth(double confidence) const {
@@ -91,6 +98,8 @@ double z_for(double confidence) {
 }  // namespace
 
 double student_t_critical(double confidence, std::size_t df) {
+  V6MON_REQUIRE(confidence > 0.0 && confidence < 1.0,
+                "confidence level must be in (0, 1)");
   if (df == 0) return std::numeric_limits<double>::infinity();
   const double* table = kT95;
   if (confidence >= 0.989) {

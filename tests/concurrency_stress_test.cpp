@@ -1,0 +1,231 @@
+// TSan-targeted concurrency stress tests.
+//
+// These tests are written to make ThreadSanitizer's job easy: many
+// producer threads hammering the same ThreadPool, overlapping Monitor
+// rounds sharing one Campaign, and concurrent PathRegistry interning.
+// They pass on any build, but their real value is under the `tsan`
+// preset (cmake --preset tsan), where any locking mistake in
+// core/thread_pool, core/results or core/campaign turns into a hard
+// failure. Determinism assertions double as lost-update detectors on
+// uninstrumented builds.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "core/campaign.h"
+#include "core/results.h"
+#include "core/thread_pool.h"
+#include "scenario/world_builder.h"
+#include "util/error.h"
+
+namespace v6mon::core {
+namespace {
+
+TEST(ThreadPoolStress, ManyProducersCountEveryTask) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  constexpr int kProducers = 8;
+  constexpr int kTasksPerProducer = 500;
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&pool, &counter] {
+      for (int i = 0; i < kTasksPerProducer; ++i) {
+        pool.submit([&counter] { counter.fetch_add(1, std::memory_order_relaxed); });
+      }
+    });
+  }
+  for (std::thread& t : producers) t.join();
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), kProducers * kTasksPerProducer);
+}
+
+TEST(ThreadPoolStress, ConcurrentWaitIdleNeverHangsOrMiscounts) {
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  std::atomic<bool> producing{true};
+  std::thread producer([&] {
+    for (int i = 0; i < 2000; ++i) {
+      pool.submit([&counter] { counter.fetch_add(1, std::memory_order_relaxed); });
+    }
+    producing.store(false);
+  });
+  // Waiters poll wait_idle concurrently with the producer; wait_idle may
+  // observe momentary idleness, but must never deadlock or race.
+  std::vector<std::thread> waiters;
+  for (int w = 0; w < 3; ++w) {
+    waiters.emplace_back([&] {
+      while (producing.load()) pool.wait_idle();
+    });
+  }
+  producer.join();
+  for (std::thread& t : waiters) t.join();
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 2000);
+}
+
+// A tight submit/wait_idle ping-pong: if wait_idle could miss the "queue
+// drained, last worker finished" notification, this loop would hang (the
+// gtest timeout fails the test) long before 500 iterations complete.
+TEST(ThreadPoolStress, RepeatedRoundTripsHaveNoLostWakeup) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int round = 1; round <= 500; ++round) {
+    for (int i = 0; i < 4; ++i) {
+      pool.submit([&counter] { counter.fetch_add(1, std::memory_order_relaxed); });
+    }
+    pool.wait_idle();
+    ASSERT_EQ(counter.load(), 4 * round);
+  }
+}
+
+TEST(ThreadPoolStress, SubmitAfterShutdownIsRejected) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.submit([&counter] { counter.fetch_add(1); });
+  pool.shutdown();
+  EXPECT_EQ(counter.load(), 1);  // shutdown drains pending work
+  EXPECT_THROW(pool.submit([&counter] { counter.fetch_add(1); }), v6mon::Error);
+  pool.shutdown();  // idempotent
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(PathRegistryStress, ConcurrentInterningStaysConsistent) {
+  PathRegistry reg;
+  constexpr int kThreads = 6;
+  constexpr topo::Asn kDistinctPaths = 64;
+  std::vector<std::vector<PathId>> ids(kThreads,
+                                       std::vector<PathId>(kDistinctPaths));
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&reg, &ids, t] {
+      for (topo::Asn p = 0; p < kDistinctPaths; ++p) {
+        // Every thread interns the same 64 paths in a different order.
+        const topo::Asn which = (p + static_cast<topo::Asn>(t) * 11) % kDistinctPaths;
+        ids[static_cast<std::size_t>(t)][which] =
+            reg.intern({which, which + 1, which + 2});
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(reg.size(), kDistinctPaths);
+  for (int t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(ids[static_cast<std::size_t>(t)], ids[0])
+        << "interning must dedup to identical ids on every thread";
+  }
+}
+
+// --- Overlapping Campaign rounds -----------------------------------------
+
+scenario::WorldSpec stress_spec() {
+  scenario::WorldSpec spec;
+  spec.seed = 4242;
+  spec.topology.num_tier1 = 3;
+  spec.topology.num_transit = 18;
+  spec.topology.num_stub = 80;
+  spec.catalog.initial_sites = 900;
+  spec.catalog.churn_per_round = 10;
+  spec.catalog.num_rounds = 6;
+  spec.catalog.dns_cache_sites = 60;
+  spec.catalog.adoption = {0.5, 0.4, 0.3, 0.2};
+  spec.vantage_points = {
+      {.name = "A",
+       .type = VantagePoint::Type::kAcademic,
+       .region = topo::Region::kNorthAmerica,
+       .start_round = 0,
+       .has_as_path = true,
+       .whitelisted = false,
+       .uses_dns_cache_supplement = true,
+       .num_v4_providers = 2,
+       .v6_mode = scenario::V6UplinkMode::kSeparateProvider},
+      {.name = "B",
+       .type = VantagePoint::Type::kCommercial,
+       .region = topo::Region::kEurope,
+       .start_round = 0,
+       .has_as_path = true,
+       .whitelisted = false,
+       .uses_dns_cache_supplement = false,
+       .num_v4_providers = 1,
+       .v6_mode = scenario::V6UplinkMode::kSameProviders},
+  };
+  return spec;
+}
+
+const World& stress_world() {
+  static const World world = scenario::build_world(stress_spec());
+  return world;
+}
+
+RoundCounters counters_of(const Campaign& c, std::size_t vp, std::uint32_t round) {
+  return c.results(vp).round_counters(round);
+}
+
+void expect_equal_counters(const RoundCounters& a, const RoundCounters& b,
+                           std::size_t vp, std::uint32_t round) {
+  EXPECT_EQ(a.listed, b.listed) << "vp=" << vp << " round=" << round;
+  EXPECT_EQ(a.v4_only, b.v4_only) << "vp=" << vp << " round=" << round;
+  EXPECT_EQ(a.v6_only, b.v6_only) << "vp=" << vp << " round=" << round;
+  EXPECT_EQ(a.dual, b.dual) << "vp=" << vp << " round=" << round;
+  EXPECT_EQ(a.dns_failed, b.dns_failed) << "vp=" << vp << " round=" << round;
+  EXPECT_EQ(a.measured, b.measured) << "vp=" << vp << " round=" << round;
+}
+
+// Monitor rounds for both vantage points run overlapped on a shared
+// Campaign from several outer threads (each round internally fans out to
+// its own ThreadPool): per-vp ResultsDbs and the shared per-db
+// PathRegistry see heavy concurrent traffic. Result counts must equal a
+// serial reference run exactly.
+TEST(CampaignStress, OverlappingRoundsMatchSerialRun) {
+  const World& w = stress_world();
+  CampaignConfig cfg;
+  cfg.seed = 21;
+  cfg.threads = 2;
+
+  Campaign serial(w, cfg);
+  for (std::size_t vp = 0; vp < w.vantage_points.size(); ++vp) {
+    for (std::uint32_t round = 0; round <= w.num_rounds; ++round) {
+      serial.run_round(vp, round);
+    }
+  }
+  serial.finalize();
+
+  Campaign overlapped(w, cfg);
+  struct Job {
+    std::size_t vp;
+    std::uint32_t round;
+  };
+  std::vector<Job> jobs;
+  for (std::size_t vp = 0; vp < w.vantage_points.size(); ++vp) {
+    for (std::uint32_t round = 0; round <= w.num_rounds; ++round) {
+      jobs.push_back({vp, round});
+    }
+  }
+  std::atomic<std::size_t> next{0};
+  std::vector<std::thread> outer;
+  for (int t = 0; t < 4; ++t) {
+    outer.emplace_back([&] {
+      for (std::size_t j = next.fetch_add(1); j < jobs.size();
+           j = next.fetch_add(1)) {
+        overlapped.run_round(jobs[j].vp, jobs[j].round);
+      }
+    });
+  }
+  for (std::thread& t : outer) t.join();
+  overlapped.finalize();
+
+  for (std::size_t vp = 0; vp < w.vantage_points.size(); ++vp) {
+    for (std::uint32_t round = 0; round <= w.num_rounds; ++round) {
+      expect_equal_counters(counters_of(overlapped, vp, round),
+                            counters_of(serial, vp, round), vp, round);
+    }
+    // Same per-site series contents as well (order-insensitive counts).
+    EXPECT_EQ(overlapped.results(vp).all_series().size(),
+              serial.results(vp).all_series().size());
+  }
+}
+
+}  // namespace
+}  // namespace v6mon::core

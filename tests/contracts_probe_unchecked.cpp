@@ -1,0 +1,50 @@
+// Compile-definition probe for the contract layer: this TU overrides the
+// build-wide V6MON_CONTRACT_LEVEL and includes util/contracts.h with
+// checking forced OFF, mimicking a plain Release build. The probes report
+// whether contract macros evaluated their condition operand — they must
+// not (unchecked contracts are unevaluated `sizeof` expansions).
+//
+// util/contracts.h must be the first include so its include guard is
+// claimed under level 0.
+#undef V6MON_CONTRACT_LEVEL
+#define V6MON_CONTRACT_LEVEL 0
+#include "util/contracts.h"
+
+static_assert(V6MON_CONTRACT_LEVEL == 0,
+              "probe TU must compile with contracts off");
+
+namespace v6mon_contract_probe {
+
+int probe_contract_level() { return V6MON_CONTRACT_LEVEL; }
+
+bool probe_require_evaluates_condition() {
+  bool evaluated = false;
+  auto touch = [&evaluated] {
+    evaluated = true;
+    return false;  // a *violated* contract, were it checked
+  };
+  V6MON_REQUIRE(touch(), "must be compiled out");
+  return evaluated;
+}
+
+bool probe_assert_evaluates_condition() {
+  bool evaluated = false;
+  auto touch = [&evaluated] {
+    evaluated = true;
+    return false;
+  };
+  V6MON_ASSERT(touch());
+  return evaluated;
+}
+
+bool probe_ensure_evaluates_condition() {
+  bool evaluated = false;
+  auto touch = [&evaluated] {
+    evaluated = true;
+    return false;
+  };
+  V6MON_ENSURE(touch(), "must be compiled out");
+  return evaluated;
+}
+
+}  // namespace v6mon_contract_probe

@@ -1,0 +1,100 @@
+// Tests for the contract layer itself (src/util/contracts.h).
+//
+// Checked behaviour (V6MON_CONTRACT_LEVEL >= 1): V6MON_REQUIRE throws
+// v6mon::ContractError; V6MON_ASSERT / V6MON_ENSURE / V6MON_UNREACHABLE
+// print and abort (observed via a death test and via the test-only abort
+// handler). Unchecked behaviour is probed by contracts_probe_unchecked.cpp,
+// a TU that re-includes the header with the level forced to 0 and reports
+// whether condition operands were ever evaluated.
+
+#include "util/contracts.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "util/error.h"
+
+// Implemented in contracts_probe_unchecked.cpp (compiled with the
+// contract level forced to 0).
+namespace v6mon_contract_probe {
+int probe_contract_level();
+bool probe_require_evaluates_condition();
+bool probe_assert_evaluates_condition();
+bool probe_ensure_evaluates_condition();
+}  // namespace v6mon_contract_probe
+
+namespace v6mon {
+namespace {
+
+#if V6MON_CONTRACT_LEVEL >= 1
+
+TEST(Contracts, RequireThrowsContractErrorOnViolation) {
+  EXPECT_THROW(V6MON_REQUIRE(1 + 1 == 3), ContractError);
+  // ContractError is a v6mon::Error, so API misuse surfaces through the
+  // library's normal error hierarchy.
+  EXPECT_THROW(V6MON_REQUIRE(false, "with a message"), Error);
+  try {
+    V6MON_REQUIRE(2 < 1, "ordering went backwards");
+    FAIL() << "V6MON_REQUIRE(false) must throw in checked builds";
+  } catch (const ContractError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("contract violated"), std::string::npos);
+    EXPECT_NE(what.find("2 < 1"), std::string::npos);
+    EXPECT_NE(what.find("ordering went backwards"), std::string::npos);
+  }
+}
+
+TEST(Contracts, SatisfiedContractsAreSilent) {
+  EXPECT_NO_THROW(V6MON_REQUIRE(true));
+  V6MON_ASSERT(1 < 2);
+  V6MON_ENSURE(2 > 1, "sanity");
+  SUCCEED();
+}
+
+TEST(Contracts, ConditionIsEvaluatedExactlyOnceWhenChecked) {
+  int evaluations = 0;
+  V6MON_ASSERT([&] {
+    ++evaluations;
+    return true;
+  }());
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST(ContractsDeathTest, AssertAbortsWithDiagnostic) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(V6MON_ASSERT(1 == 2, "arithmetic broke"),
+               "v6mon contract violated \\[assert\\].*1 == 2.*arithmetic broke");
+  EXPECT_DEATH(V6MON_ENSURE(false), "v6mon contract violated \\[ensure\\]");
+  EXPECT_DEATH(V6MON_UNREACHABLE("fell off the state machine"),
+               "v6mon contract violated \\[unreachable\\].*fell off");
+}
+
+TEST(Contracts, AbortHandlerHookInterceptsAssert) {
+  struct Intercepted : std::exception {};
+  auto* previous = util::set_contract_abort_handler(+[]() -> void { throw Intercepted(); });
+  EXPECT_THROW(V6MON_ASSERT(false, "intercepted"), Intercepted);
+  util::set_contract_abort_handler(previous);
+}
+
+#endif  // V6MON_CONTRACT_LEVEL >= 1
+
+TEST(Contracts, UncheckedBuildCompilesChecksOut) {
+  // The probe TU forces V6MON_CONTRACT_LEVEL=0 regardless of this build's
+  // configuration: its contracts must never evaluate their condition (a
+  // side-effecting operand stays untouched), proving Release builds carry
+  // zero contract overhead.
+  EXPECT_EQ(v6mon_contract_probe::probe_contract_level(), 0);
+  EXPECT_FALSE(v6mon_contract_probe::probe_require_evaluates_condition());
+  EXPECT_FALSE(v6mon_contract_probe::probe_assert_evaluates_condition());
+  EXPECT_FALSE(v6mon_contract_probe::probe_ensure_evaluates_condition());
+}
+
+TEST(Contracts, LevelMatchesBuildConfiguration) {
+  // The build system injects V6MON_CONTRACT_LEVEL for every target linked
+  // against v6mon_contracts; this TU must see a concrete 0/1 value.
+  EXPECT_TRUE(V6MON_CONTRACT_LEVEL == 0 || V6MON_CONTRACT_LEVEL == 1);
+}
+
+}  // namespace
+}  // namespace v6mon

@@ -1,0 +1,74 @@
+#!/usr/bin/env bash
+# clang-tidy gate for v6mon: zero warnings over src/ (and optionally the
+# whole tree) with the checked-in .clang-tidy.
+#
+# Usage:
+#   tools/run_clang_tidy.sh [--all] [--fix] [build-dir]
+#
+#   --all       also lint bench/, examples/ and tests/ (default: src/ only)
+#   --fix       apply clang-tidy fixits in place
+#   build-dir   a CMake build tree with compile_commands.json
+#               (default: build-tidy, configured on demand)
+#
+# Environment:
+#   CLANG_TIDY                 binary to use (default: clang-tidy)
+#   V6MON_TIDY_ALLOW_MISSING=1 exit 0 with a notice when clang-tidy is not
+#                              installed (for machines without LLVM; CI
+#                              never sets this)
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+clang_tidy="${CLANG_TIDY:-clang-tidy}"
+
+scan_all=0
+fix_flag=()
+build_dir=""
+for arg in "$@"; do
+  case "$arg" in
+    --all) scan_all=1 ;;
+    --fix) fix_flag=(--fix --fix-errors) ;;
+    -h|--help) sed -n '2,18p' "${BASH_SOURCE[0]}"; exit 0 ;;
+    *) build_dir="$arg" ;;
+  esac
+done
+build_dir="${build_dir:-${repo_root}/build-tidy}"
+
+if ! command -v "$clang_tidy" >/dev/null 2>&1; then
+  if [[ "${V6MON_TIDY_ALLOW_MISSING:-0}" == "1" ]]; then
+    echo "run_clang_tidy: '$clang_tidy' not installed; skipping (V6MON_TIDY_ALLOW_MISSING=1)" >&2
+    exit 0
+  fi
+  echo "run_clang_tidy: '$clang_tidy' not found. Install clang-tidy or set CLANG_TIDY." >&2
+  exit 2
+fi
+
+if [[ ! -f "$build_dir/compile_commands.json" ]]; then
+  echo "run_clang_tidy: configuring $build_dir for compile_commands.json" >&2
+  cmake -S "$repo_root" -B "$build_dir" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+fi
+
+dirs=("$repo_root/src")
+if [[ $scan_all == 1 ]]; then
+  dirs+=("$repo_root/bench" "$repo_root/examples" "$repo_root/tests")
+fi
+
+mapfile -t files < <(find "${dirs[@]}" -name '*.cpp' | sort)
+echo "run_clang_tidy: linting ${#files[@]} files with $("$clang_tidy" --version | head -1)" >&2
+
+status=0
+log="$(mktemp)"
+trap 'rm -f "$log"' EXIT
+for f in "${files[@]}"; do
+  if ! "$clang_tidy" -p "$build_dir" --quiet "${fix_flag[@]}" "$f" 2>/dev/null | tee -a "$log"; then
+    status=1
+  fi
+done
+
+warnings=$(grep -c 'warning:\|error:' "$log" || true)
+if [[ "$warnings" -gt 0 || "$status" -ne 0 ]]; then
+  echo "run_clang_tidy: FAILED — $warnings finding(s); the gate requires zero." >&2
+  exit 1
+fi
+echo "run_clang_tidy: clean (zero warnings over ${#files[@]} files)." >&2
