@@ -1,0 +1,135 @@
+// End-to-end pipeline throughput harness (the PR-level perf contract).
+//
+// Times the four stages that dominate a full study — world construction,
+// RIB construction, one campaign round, and the analysis pass — at
+// thread counts 1 and 8, so the speedup of the parallel RIB fan-out and
+// the persistent campaign executor is a number in a JSON artifact rather
+// than a claim in a commit message:
+//
+//   build/bench/bench_pipeline --benchmark_out=BENCH_pipeline.json
+//                              --benchmark_out_format=json
+//
+// Deliberately does NOT use bench::Study: that singleton builds the world
+// and runs the campaign before main()'s benchmarks start, and here the
+// construction itself is the thing under test. Environment knobs match
+// the rest of the harness: V6MON_BENCH_SEED (default 2011) and
+// V6MON_BENCH_SCALE (default 1.0).
+//
+// Note on thread counts: on a single-core runner the 1-vs-8 pairs will
+// tie — the JSON still pins the serial cost of every stage, which is
+// what the CI perf-smoke job tracks.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/report.h"
+#include "bgp/rib.h"
+#include "core/campaign.h"
+#include "scenario/paper.h"
+#include "scenario/world_builder.h"
+
+namespace {
+
+using namespace v6mon;
+
+std::uint64_t bench_seed() {
+  const char* v = std::getenv("V6MON_BENCH_SEED");
+  return v == nullptr ? 2011ULL : std::strtoull(v, nullptr, 10);
+}
+
+double bench_scale() {
+  const char* v = std::getenv("V6MON_BENCH_SCALE");
+  return v == nullptr ? 1.0 : std::strtod(v, nullptr);
+}
+
+/// Shared world for the stages that only *read* it (RIB rebuilds swap the
+/// per-VP tries out and back in; observations never touch the world).
+core::World& shared_world() {
+  static core::World world =
+      scenario::build_world(scenario::paper_spec(bench_seed(), bench_scale()));
+  return world;
+}
+
+void BM_WorldBuild(benchmark::State& state) {
+  scenario::WorldSpec spec = scenario::paper_spec(bench_seed(), bench_scale());
+  spec.build_threads = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    core::World world = scenario::build_world(spec);
+    benchmark::DoNotOptimize(world.catalog.size());
+  }
+}
+BENCHMARK(BM_WorldBuild)->Arg(1)->Arg(8)->Unit(benchmark::kMillisecond);
+
+void BM_RibBuild(benchmark::State& state) {
+  core::World& world = shared_world();
+  for (auto _ : state) {
+    state.PauseTiming();
+    for (core::VantagePoint& vp : world.vantage_points) vp.rib = bgp::Rib();
+    state.ResumeTiming();
+    scenario::build_ribs(world, static_cast<std::size_t>(state.range(0)));
+  }
+}
+BENCHMARK(BM_RibBuild)->Arg(1)->Arg(8)->Unit(benchmark::kMillisecond);
+
+void BM_CampaignRound(benchmark::State& state) {
+  const core::World& world = shared_world();
+  core::CampaignConfig cfg = scenario::paper_campaign_config(bench_seed());
+  cfg.threads = static_cast<std::size_t>(state.range(0));
+  // A mid-campaign round: every VP is active and IPv6 adoption is well
+  // past the initial trickle, so the dual-stack (expensive) population is
+  // representative.
+  const std::uint32_t round = world.num_rounds / 2;
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto campaign = std::make_unique<core::Campaign>(world, cfg);
+    state.ResumeTiming();
+    for (std::size_t vp = 0; vp < world.vantage_points.size(); ++vp) {
+      campaign->run_round(vp, round);
+    }
+  }
+}
+BENCHMARK(BM_CampaignRound)->Arg(1)->Arg(8)->Unit(benchmark::kMillisecond);
+
+void BM_FullCampaign(benchmark::State& state) {
+  const core::World& world = shared_world();
+  core::CampaignConfig cfg = scenario::paper_campaign_config(bench_seed());
+  cfg.threads = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto campaign = std::make_unique<core::Campaign>(world, cfg);
+    state.ResumeTiming();
+    campaign->run();
+    campaign->run_w6d();
+    campaign->finalize();
+  }
+}
+BENCHMARK(BM_FullCampaign)->Arg(1)->Arg(8)->Unit(benchmark::kMillisecond)
+    ->MinTime(1.0);
+
+void BM_Analysis(benchmark::State& state) {
+  const core::World& world = shared_world();
+  // One campaign feeds every iteration: analysis is a pure read.
+  static const auto campaign = [] {
+    core::CampaignConfig cfg = scenario::paper_campaign_config(bench_seed());
+    auto c = std::make_unique<core::Campaign>(shared_world(), cfg);
+    c->run();
+    c->finalize();
+    return c;
+  }();
+  std::vector<const core::ResultsDb*> dbs;
+  for (std::size_t vp = 0; vp < world.vantage_points.size(); ++vp) {
+    dbs.push_back(&campaign->results(vp));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::analyze_world(world, dbs));
+  }
+}
+BENCHMARK(BM_Analysis)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

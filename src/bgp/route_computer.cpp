@@ -2,6 +2,7 @@
 
 #include <cassert>
 #include <queue>
+#include <string_view>
 
 #include "util/contracts.h"
 #include "util/error.h"
@@ -14,6 +15,34 @@ using topo::AsGraph;
 using topo::Asn;
 using topo::kNoAs;
 using topo::Role;
+
+namespace detail {
+
+std::uint64_t tie_break_prefix(std::uint64_t dest) {
+  std::uint64_t h = 1469598103934665603ULL;  // FNV-1a offset basis
+  auto mix_byte = [&h](unsigned char b) {
+    h ^= b;
+    h *= 1099511628211ULL;
+  };
+  for (int i = 0; i < 8; ++i) mix_byte(static_cast<unsigned char>(dest >> (8 * i)));
+  for (char c : std::string_view("bgp-tie")) mix_byte(static_cast<unsigned char>(c));
+  return h;
+}
+
+std::uint64_t tie_break_rank(std::uint64_t prefix, std::uint64_t index) {
+  std::uint64_t h = prefix;
+  for (int i = 0; i < 8; ++i) {
+    h ^= static_cast<unsigned char>(index >> (8 * i));
+    h *= 1099511628211ULL;
+  }
+  // splitmix64 finisher, exactly as util::hash_combine.
+  h += 0x9e3779b97f4a7c15ULL;
+  h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  h = (h ^ (h >> 27)) * 0x94d049bb133111ebULL;
+  return h ^ (h >> 31);
+}
+
+}  // namespace detail
 
 RouteTable::RouteTable(Asn dest, ip::Family family, std::size_t num_ases)
     : dest_(dest),
@@ -42,10 +71,34 @@ std::vector<Asn> RouteTable::as_path(Asn src) const {
   return path;
 }
 
-RouteTable compute_routes_to(const AsGraph& graph, ip::Family family, Asn dest) {
+FamilyView::FamilyView(const AsGraph& graph, ip::Family family)
+    : family_(family) {
   const std::size_t n = graph.num_ases();
+  offsets_.assign(n + 1, 0);
+  for (Asn u = 0; u < n; ++u) {
+    for (const Adjacency& adj : graph.adjacencies(u)) {
+      if (graph.link_in_family(adj.link_id, family)) ++offsets_[u + 1];
+    }
+  }
+  for (std::size_t u = 0; u < n; ++u) offsets_[u + 1] += offsets_[u];
+  edges_.resize(offsets_[n]);
+  std::vector<std::uint32_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (Asn u = 0; u < n; ++u) {
+    for (const Adjacency& adj : graph.adjacencies(u)) {
+      if (!graph.link_in_family(adj.link_id, family)) continue;
+      edges_[cursor[u]++] = Edge{adj.neighbor, adj.role};
+    }
+  }
+}
+
+RouteTable compute_routes_to(const AsGraph& graph, ip::Family family, Asn dest) {
+  return compute_routes_to(FamilyView(graph, family), dest);
+}
+
+RouteTable compute_routes_to(const FamilyView& view, Asn dest) {
+  const std::size_t n = view.num_ases();
   if (dest >= n) throw ConfigError("compute_routes_to: destination out of range");
-  RouteTable t(dest, family, n);
+  RouteTable t(dest, view.family(), n);
 
   // Final BGP tie-break between equal-preference, equal-length candidates.
   // Real routers fall back to router-id / route age — arbitrary but
@@ -56,9 +109,16 @@ RouteTable compute_routes_to(const AsGraph& graph, ip::Family family, Asn dest) 
   // families, so IPv6 follows the IPv4 choice whenever the IPv6 topology
   // still contains it — path divergence then reflects genuinely missing
   // IPv6 adjacencies, not coin flips.
-  auto tie_rank = [dest](Asn at, Asn via) {
-    return util::hash_combine(static_cast<std::uint64_t>(dest), "bgp-tie",
-                              (static_cast<std::uint64_t>(at) << 32) | via);
+  // hash_combine(dest, "bgp-tie", idx) mixes (dest || "bgp-tie" || idx)
+  // byte-wise; the first fifteen bytes are loop-invariant, and tie_rank is
+  // the hottest scalar op in the whole RIB build — fold them once and
+  // continue the FNV-1a stream per candidate. Bit-identical by
+  // construction (route_computer_test pins this against hash_combine).
+  const std::uint64_t tie_prefix =
+      detail::tie_break_prefix(static_cast<std::uint64_t>(dest));
+  auto tie_rank = [tie_prefix](Asn at, Asn via) {
+    return detail::tie_break_rank(tie_prefix,
+                                  (static_cast<std::uint64_t>(at) << 32) | via);
   };
 
   t.cls_[dest] = RouteClass::kOrigin;
@@ -76,10 +136,10 @@ RouteTable compute_routes_to(const AsGraph& graph, ip::Family family, Asn dest) 
     ++level;
     next_frontier.clear();
     for (Asn u : frontier) {
-      for (const Adjacency& adj : graph.adjacencies(u)) {
-        if (adj.role != Role::kProvider) continue;  // u's provider hears the route
-        if (!graph.link_in_family(adj.link_id, family)) continue;
-        const Asn p = adj.neighbor;
+      for (const FamilyView::Edge* e = view.edges_begin(u); e != view.edges_end(u);
+           ++e) {
+        if (e->role != Role::kProvider) continue;  // u's provider hears the route
+        const Asn p = e->neighbor;
         if (t.cls_[p] == RouteClass::kOrigin) continue;
         if (t.cls_[p] == RouteClass::kCustomer) {
           if (t.length_[p] == level &&
@@ -103,10 +163,10 @@ RouteTable compute_routes_to(const AsGraph& graph, ip::Family family, Asn dest) 
   // edges — which a customer route is made of).
   for (Asn x = 0; x < n; ++x) {
     if (t.cls_[x] == RouteClass::kCustomer || t.cls_[x] == RouteClass::kOrigin) continue;
-    for (const Adjacency& adj : graph.adjacencies(x)) {
-      if (adj.role != Role::kPeer) continue;
-      if (!graph.link_in_family(adj.link_id, family)) continue;
-      const Asn y = adj.neighbor;
+    for (const FamilyView::Edge* e = view.edges_begin(x); e != view.edges_end(x);
+         ++e) {
+      if (e->role != Role::kPeer) continue;
+      const Asn y = e->neighbor;
       if (t.cls_[y] != RouteClass::kCustomer && t.cls_[y] != RouteClass::kOrigin) continue;
       const std::uint16_t cand = static_cast<std::uint16_t>(t.length_[y] + 1);
       if (t.cls_[x] != RouteClass::kPeer || cand < t.length_[x] ||
@@ -136,10 +196,10 @@ RouteTable compute_routes_to(const AsGraph& graph, ip::Family family, Asn dest) 
     pq.pop();
     if (finalized[u] || len != t.length_[u]) continue;
     finalized[u] = 1;
-    for (const Adjacency& adj : graph.adjacencies(u)) {
-      if (adj.role != Role::kCustomer) continue;  // u exports to its customers
-      if (!graph.link_in_family(adj.link_id, family)) continue;
-      const Asn c = adj.neighbor;
+    for (const FamilyView::Edge* e = view.edges_begin(u); e != view.edges_end(u);
+         ++e) {
+      if (e->role != Role::kCustomer) continue;  // u exports to its customers
+      const Asn c = e->neighbor;
       if (t.cls_[c] == RouteClass::kOrigin || t.cls_[c] == RouteClass::kCustomer ||
           t.cls_[c] == RouteClass::kPeer) {
         continue;  // better class already selected

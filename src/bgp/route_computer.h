@@ -25,6 +25,39 @@ enum class RouteClass : std::uint8_t { kNone, kOrigin, kCustomer, kPeer, kProvid
   return "?";
 }
 
+/// Immutable one-family projection of the AS graph in CSR (compressed
+/// sparse row) form: per-AS adjacency runs filtered down to the links the
+/// family actually carries, with the role resolved inline. Built in one
+/// O(V+E) pass and then shared — read-only — by every compute_routes_to
+/// call for that family, so converging thousands of destinations stops
+/// paying the per-edge link_in_family lookup and the AsLink indirection,
+/// and parallel workers share one cache-friendly structure. Edge order
+/// per AS is exactly AsGraph::adjacencies order (filtered), so route
+/// selection is bit-identical to computing straight off the graph.
+class FamilyView {
+ public:
+  struct Edge {
+    topo::Asn neighbor = topo::kNoAs;
+    topo::Role role = topo::Role::kPeer;  ///< What `neighbor` is to the owner.
+  };
+
+  FamilyView(const topo::AsGraph& graph, ip::Family family);
+
+  [[nodiscard]] ip::Family family() const { return family_; }
+  [[nodiscard]] std::size_t num_ases() const { return offsets_.size() - 1; }
+  [[nodiscard]] const Edge* edges_begin(topo::Asn asn) const {
+    return edges_.data() + offsets_[asn];
+  }
+  [[nodiscard]] const Edge* edges_end(topo::Asn asn) const {
+    return edges_.data() + offsets_[asn + 1];
+  }
+
+ private:
+  ip::Family family_;
+  std::vector<std::uint32_t> offsets_;  ///< size num_ases + 1
+  std::vector<Edge> edges_;
+};
+
 /// Best routes from *every* AS toward one destination AS, in one family.
 ///
 /// BGP convergence is destination-rooted, so this is the natural unit of
@@ -57,6 +90,7 @@ class RouteTable {
 
  private:
   friend RouteTable compute_routes_to(const topo::AsGraph&, ip::Family, topo::Asn);
+  friend RouteTable compute_routes_to(const FamilyView&, topo::Asn);
 
   topo::Asn dest_;
   ip::Family family_;
@@ -65,9 +99,27 @@ class RouteTable {
   std::vector<std::uint16_t> length_;
 };
 
-/// Run the three-stage Gao-Rexford computation for one destination.
+/// Run the three-stage Gao-Rexford computation for one destination over a
+/// prebuilt family view. Pure: reads only `view`, so tables for different
+/// destinations can be computed concurrently against one shared view
+/// (scenario::build_ribs fans them out on a pool).
+[[nodiscard]] RouteTable compute_routes_to(const FamilyView& view, topo::Asn dest);
+
+/// Convenience for one-off computations: builds the family view, then
+/// delegates. Callers converging many destinations should build the
+/// FamilyView once and use the overload above.
 [[nodiscard]] RouteTable compute_routes_to(const topo::AsGraph& graph,
                                            ip::Family family, topo::Asn dest);
+
+namespace detail {
+/// Split evaluation of util::hash_combine(dest, "bgp-tie", index): the
+/// (dest || "bgp-tie") FNV-1a prefix is loop-invariant per destination,
+/// so compute_routes_to folds it once and finishes the stream per tie
+/// candidate. tie_break_rank(tie_break_prefix(d), i) must equal
+/// hash_combine(d, "bgp-tie", i) bit-for-bit (pinned by a test).
+[[nodiscard]] std::uint64_t tie_break_prefix(std::uint64_t dest);
+[[nodiscard]] std::uint64_t tie_break_rank(std::uint64_t prefix, std::uint64_t index);
+}  // namespace detail
 
 /// Verify a whole AS path is valley-free (up* [peer] down*) using only the
 /// links carried by `family` — a pair of ASes may be connected by several

@@ -9,12 +9,16 @@
 
 namespace v6mon::core {
 
-Campaign::Campaign(const World& world, CampaignConfig config)
-    : world_(world), config_(config) {
-  if (config_.threads == 0) {
+CampaignConfig Campaign::resolve(CampaignConfig config) {
+  if (config.threads == 0) {
     const std::size_t hw = std::max(1u, std::thread::hardware_concurrency());
-    config_.threads = std::min(config_.monitor.max_parallel_sites, hw);
+    config.threads = std::min(config.monitor.max_parallel_sites, hw);
   }
+  return config;
+}
+
+Campaign::Campaign(const World& world, CampaignConfig config)
+    : world_(world), config_(resolve(std::move(config))), pool_(config_.threads) {
   for (const VantagePoint& vp : world_.vantage_points) {
     results_.push_back(std::make_unique<ResultsDb>());
     w6d_results_.push_back(std::make_unique<ResultsDb>());
@@ -26,35 +30,31 @@ void Campaign::run_sites(std::size_t vp_index, std::uint32_t round,
                          const std::vector<std::uint32_t>& sites, ResultsDb& db,
                          std::uint64_t salt) {
   V6MON_REQUIRE(vp_index < monitors_.size(), "vantage point index out of range");
+  if (sites.empty()) return;
   const Monitor& monitor = monitors_[vp_index];
   const web::CatalogDnsBackend backend(world_.catalog);
   const util::Rng root(config_.seed);
 
-  ThreadPool pool(config_.threads);
-  constexpr std::size_t kChunk = 512;
-  for (std::size_t begin = 0; begin < sites.size(); begin += kChunk) {
-    const std::size_t end = std::min(begin + kChunk, sites.size());
-    pool.submit([&, begin, end] {
-      dns::Resolver resolver(backend, config_.monitor.dns,
-                             root.child("dns", salt ^ begin));
-      for (std::size_t i = begin; i < end; ++i) {
-        const web::Site& site = world_.catalog.site(sites[i]);
-        const std::uint64_t key =
-            ((static_cast<std::uint64_t>(vp_index) * 4096 + round) << 32) |
-            (site.id ^ salt);
-        const Observation obs = monitor.monitor_site(
-            site, round, resolver, root.child("monitor", key), db.paths());
-        db.count(round, obs.status);
-        if (obs.status == MonitorStatus::kMeasured ||
-            obs.status == MonitorStatus::kDifferentContent ||
-            obs.status == MonitorStatus::kV4DownloadFailed ||
-            obs.status == MonitorStatus::kV6DownloadFailed) {
-          db.add(obs);
-        }
-      }
-    });
-  }
-  pool.wait_idle();
+  parallel_index(pool_, sites.size(), [&](std::size_t i) {
+    const web::Site& site = world_.catalog.site(sites[i]);
+    // Every RNG stream is keyed per (site, round, salt) — never by chunk
+    // bounds or worker identity — so scheduling granularity is a pure
+    // performance knob and threads=1 reproduces threads=N bit-for-bit.
+    dns::Resolver resolver(backend, config_.monitor.dns,
+                           root.child("dns", salt ^ site.id));
+    const std::uint64_t key =
+        ((static_cast<std::uint64_t>(vp_index) * 4096 + round) << 32) |
+        (site.id ^ salt);
+    const Observation obs = monitor.monitor_site(
+        site, round, resolver, root.child("monitor", key), db.paths());
+    db.count(round, obs.status);
+    if (obs.status == MonitorStatus::kMeasured ||
+        obs.status == MonitorStatus::kDifferentContent ||
+        obs.status == MonitorStatus::kV4DownloadFailed ||
+        obs.status == MonitorStatus::kV6DownloadFailed) {
+      db.add(obs);
+    }
+  });
 }
 
 void Campaign::run_round(std::size_t vp_index, std::uint32_t round) {

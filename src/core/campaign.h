@@ -5,6 +5,7 @@
 
 #include "core/monitor.h"
 #include "core/results.h"
+#include "core/thread_pool.h"
 #include "core/world.h"
 
 namespace v6mon::core {
@@ -61,8 +62,17 @@ class Campaign {
                  const std::vector<std::uint32_t>& sites, ResultsDb& db,
                  std::uint64_t salt);
 
+  /// Fill in config.threads when left at 0 (done before pool_ spins up).
+  static CampaignConfig resolve(CampaignConfig config);
+
   const World& world_;
   CampaignConfig config_;
+  /// One executor for the campaign's lifetime: rounds × VPs × mini-rounds
+  /// reuse its workers instead of constructing/joining a pool per
+  /// run_sites call. Sites are handed out through parallel_index's atomic
+  /// work-stealing counter, not fixed chunks, so a straggler (dual-stack
+  /// site with a long CI loop) only ever delays its own worker.
+  ThreadPool pool_;
   std::vector<std::unique_ptr<ResultsDb>> results_;
   std::vector<std::unique_ptr<ResultsDb>> w6d_results_;
   std::vector<Monitor> monitors_;

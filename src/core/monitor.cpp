@@ -9,24 +9,13 @@
 
 namespace v6mon::core {
 
-namespace {
-
-/// Deterministic per-path quality factor (mean 1). Family-blind: keyed by
-/// the AS sequence alone.
-double path_quality(const std::vector<topo::Asn>& as_path, double sigma) {
-  if (sigma <= 0.0 || as_path.empty()) return 1.0;
-  std::uint64_t key = 0x9e3779b97f4a7c15ULL;
-  for (topo::Asn asn : as_path) {
-    key = util::hash_combine(key, "path-hop", asn);
-  }
-  util::Rng rng(key);
-  return std::exp(rng.normal(-sigma * sigma / 2.0, sigma));
-}
-
-}  // namespace
-
 Monitor::Monitor(const World& world, const VantagePoint& vp, MonitorConfig config)
-    : world_(world), vp_(vp), config_(config), sim_(config.download) {}
+    : world_(world),
+      vp_(vp),
+      config_(config),
+      sim_(config.download),
+      path_cache_(std::make_unique<transport::PathCache>(
+          world.graph, vp.asn, config.path_quality_sigma)) {}
 
 Monitor::FamilyMeasurement Monitor::measure_family(
     const transport::PathCharacteristics& path, double page_kb, double server_rate,
@@ -119,12 +108,11 @@ Observation Monitor::monitor_site(const web::Site& site, std::uint32_t round,
     return obs;
   }
 
-  auto v4_path = transport::characterize_path(world_.graph, vp_.asn,
-                                              v4_route->as_path, ip::Family::kIpv4);
-  auto v6_path = transport::characterize_path(world_.graph, vp_.asn,
-                                              v6_route->as_path, ip::Family::kIpv6);
-  v4_path.quality = path_quality(v4_route->as_path, config_.path_quality_sigma);
-  v6_path.quality = path_quality(v6_route->as_path, config_.path_quality_sigma);
+  // Characterization + quality are pure per (path, family): served from
+  // the per-VP cache, computed once per campaign. Local copies — the 6to4
+  // adjustment below is per-destination-address, not per-path.
+  auto v4_path = path_cache_->characteristics(v4_route->as_path, ip::Family::kIpv4);
+  auto v6_path = path_cache_->characteristics(v6_route->as_path, ip::Family::kIpv6);
 
   // 6to4 anycast: the RIB's 2002::/16 route only reaches the relay — the
   // AS path *looks* 1-2 hops long. Packets then ride the IPv4 underlay to

@@ -1,10 +1,13 @@
 #pragma once
 
+#include <memory>
+
 #include "core/results.h"
 #include "core/vantage.h"
 #include "core/world.h"
 #include "dns/resolver.h"
 #include "transport/download.h"
+#include "transport/path_cache.h"
 #include "util/rng.h"
 #include "web/site.h"
 
@@ -61,6 +64,11 @@ class Monitor {
 
   [[nodiscard]] const MonitorConfig& config() const { return config_; }
   [[nodiscard]] const VantagePoint& vantage_point() const { return vp_; }
+  /// Cache effectiveness counters (each distinct (path, family) this VP
+  /// selects is characterized exactly once per Monitor lifetime).
+  [[nodiscard]] transport::PathCache::Stats path_cache_stats() const {
+    return path_cache_->stats();
+  }
 
  private:
   struct FamilyMeasurement {
@@ -80,6 +88,11 @@ class Monitor {
   const VantagePoint& vp_;
   MonitorConfig config_;
   transport::DownloadSimulator sim_;
+  /// Memoized characterize_path + path_quality, shared by all worker
+  /// threads monitoring through this VP; lives exactly as long as the
+  /// Monitor (= the Campaign), matching the graph's immutability window.
+  /// unique_ptr keeps Monitor movable (the cache holds mutexes).
+  std::unique_ptr<transport::PathCache> path_cache_;
 };
 
 }  // namespace v6mon::core

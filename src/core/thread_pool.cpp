@@ -1,5 +1,8 @@
 #include "core/thread_pool.h"
 
+#include <atomic>
+#include <memory>
+
 #include "util/contracts.h"
 #include "util/error.h"
 
@@ -42,6 +45,45 @@ void ThreadPool::submit(std::function<void()> task) {
 void ThreadPool::wait_idle() {
   std::unique_lock<std::mutex> lock(mu_);
   cv_idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+}
+
+void parallel_index(ThreadPool& pool, std::size_t n,
+                    const std::function<void(std::size_t)>& fn) {
+  V6MON_ASSERT(fn != nullptr, "parallel_index needs a callable body");
+  if (n == 0) return;
+  if (n == 1 || pool.thread_count() == 1) {
+    // Degenerate shapes run inline: same fn(i) sequence, no queue hop —
+    // and the threads=1 configuration stays a pure serial reference.
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  // Completion is tracked per call (not via wait_idle) so overlapping
+  // parallel_index calls on a shared pool return independently.
+  struct Sync {
+    std::atomic<std::size_t> next{0};
+    std::mutex mu;
+    std::condition_variable cv;
+    std::size_t workers_left;
+  };
+  const auto sync = std::make_shared<Sync>();
+  const std::size_t workers = std::min(pool.thread_count(), n);
+  sync->workers_left = workers;
+  for (std::size_t w = 0; w < workers; ++w) {
+    pool.submit([sync, n, &fn] {
+      for (std::size_t i = sync->next.fetch_add(1, std::memory_order_relaxed);
+           i < n; i = sync->next.fetch_add(1, std::memory_order_relaxed)) {
+        fn(i);
+      }
+      {
+        std::lock_guard<std::mutex> lock(sync->mu);
+        --sync->workers_left;
+      }
+      sync->cv.notify_all();
+    });
+  }
+  std::unique_lock<std::mutex> lock(sync->mu);
+  sync->cv.wait(lock, [&sync] { return sync->workers_left == 0; });
 }
 
 void ThreadPool::worker_loop() {

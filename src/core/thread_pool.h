@@ -51,4 +51,19 @@ class ThreadPool {
   std::vector<std::thread> workers_;
 };
 
+/// Run `fn(i)` for every i in [0, n) on the pool, handing indices out
+/// through a shared atomic counter (work stealing): a worker that finishes
+/// index i immediately claims the next unclaimed index, so one slow item
+/// (a dual-stack site with a long CI loop, a big RIB destination) never
+/// serializes a whole fixed-size chunk behind it.
+///
+/// Blocks until all n calls have completed — only *this* call's work, so
+/// concurrent parallel_index calls on one pool don't wait for each other.
+/// `fn` must be safe to invoke concurrently from pool workers and must not
+/// throw (ThreadPool's task contract). Iteration order across workers is
+/// unspecified; callers needing deterministic output must make fn(i)
+/// independent of scheduling (per-index RNG streams, indexed result slots).
+void parallel_index(ThreadPool& pool, std::size_t n,
+                    const std::function<void(std::size_t)>& fn);
+
 }  // namespace v6mon::core

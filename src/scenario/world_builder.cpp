@@ -1,9 +1,12 @@
 #include "scenario/world_builder.h"
 
 #include <algorithm>
+#include <optional>
 #include <set>
+#include <thread>
 
 #include "bgp/route_computer.h"
+#include "core/thread_pool.h"
 #include "util/contracts.h"
 #include "util/error.h"
 
@@ -105,6 +108,24 @@ Asn attach_vantage_as(AsGraph& g, const VantageSpec& spec,
   return asn;
 }
 
+std::size_t resolve_build_threads(std::size_t threads) {
+  if (threads != 0) return threads;
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+/// Destination-rooted route tables toward every AS in `dests`, computed
+/// concurrently into slots indexed like `dests` — completion order never
+/// shows in the result. All workers read one shared immutable FamilyView.
+std::vector<std::optional<bgp::RouteTable>> compute_tables_parallel(
+    core::ThreadPool& pool, const bgp::FamilyView& view,
+    const std::vector<Asn>& dests) {
+  std::vector<std::optional<bgp::RouteTable>> tables(dests.size());
+  core::parallel_index(pool, dests.size(), [&](std::size_t i) {
+    tables[i] = bgp::compute_routes_to(view, dests[i]);
+  });
+  return tables;
+}
+
 /// Pick the IPv6 core anchor: a tier-1 with IPv6 and at least one v6 link.
 Asn v6_core_anchor(const AsGraph& g) {
   for (Asn t1 : g.ases_of_tier(Tier::kTier1)) {
@@ -120,7 +141,7 @@ Asn v6_core_anchor(const AsGraph& g) {
 
 TunnelStats apply_tunnel_overlay(AsGraph& graph, std::size_t num_relays,
                                  double extra_latency_ms, double bandwidth_factor,
-                                 util::Rng& rng) {
+                                 util::Rng& rng, std::size_t threads) {
   TunnelStats stats;
   const Asn core = v6_core_anchor(graph);
   const bgp::RouteTable to_core =
@@ -138,12 +159,10 @@ TunnelStats apply_tunnel_overlay(AsGraph& graph, std::size_t num_relays,
   relay_pool.resize(std::min(num_relays, relay_pool.size()));
 
   // IPv4 routes *to each relay* let us derive each island's underlying
-  // tunnel path metrics.
-  std::vector<bgp::RouteTable> v4_to_relay;
-  v4_to_relay.reserve(relay_pool.size());
-  for (Asn relay : relay_pool) {
-    v4_to_relay.push_back(bgp::compute_routes_to(graph, ip::Family::kIpv4, relay));
-  }
+  // tunnel path metrics. Tables are independent per relay — fan out.
+  core::ThreadPool pool(resolve_build_threads(threads));
+  const bgp::FamilyView v4_view(graph, ip::Family::kIpv4);
+  const auto v4_to_relay = compute_tables_parallel(pool, v4_view, relay_pool);
 
   for (std::size_t i = 0; i < graph.num_ases(); ++i) {
     const Asn asn = static_cast<Asn>(i);
@@ -161,17 +180,17 @@ TunnelStats apply_tunnel_overlay(AsGraph& graph, std::size_t num_relays,
     // reachable relay, seeded per island.
     std::vector<std::size_t> reachable;
     for (std::size_t r = 0; r < relay_pool.size(); ++r) {
-      if (asn != relay_pool[r] && v4_to_relay[r].reachable(asn)) reachable.push_back(r);
+      if (asn != relay_pool[r] && v4_to_relay[r]->reachable(asn)) reachable.push_back(r);
     }
     if (reachable.empty()) continue;  // island unreachable even in v4
     const std::size_t best = reachable[rng.index(reachable.size())];
-    const unsigned best_len = v4_to_relay[best].path_length(asn);
+    const unsigned best_len = v4_to_relay[best]->path_length(asn);
 
     // Walk the underlying IPv4 path to accumulate true latency/bandwidth.
     double latency = 0.0;
     double bandwidth = 1.0e9;
     Asn prev = asn;
-    for (Asn hop : v4_to_relay[best].as_path(asn)) {
+    for (Asn hop : v4_to_relay[best]->as_path(asn)) {
       const std::uint32_t link = graph.find_link(prev, hop, ip::Family::kIpv4);
       if (link == AsGraph::kNoLink) break;
       latency += graph.link(link).metrics.latency_ms;
@@ -185,27 +204,35 @@ TunnelStats apply_tunnel_overlay(AsGraph& graph, std::size_t num_relays,
   return stats;
 }
 
-void build_ribs(core::World& world) {
+void build_ribs(core::World& world, std::size_t threads) {
   const AsGraph& g = world.graph;
+  core::ThreadPool pool(resolve_build_threads(threads));
+  // One CSR projection per family, shared read-only by every convergence
+  // worker below — the graph is frozen once build_ribs starts.
+  const bgp::FamilyView v4_view(g, ip::Family::kIpv4);
+  const bgp::FamilyView v6_view(g, ip::Family::kIpv6);
 
   // --- 6to4 anycast (RFC 3068) ---------------------------------------------
   // A router's table carries one 2002::/16 route toward the *nearest*
   // relay; the destination island never appears in the AS path. This is
   // why tunnelled IPv6 paths look 1-2 hops long while performing like the
   // whole underlay — the paper's Table 7 artifact.
+  //
+  // The per-relay tables do not depend on the vantage point, so they are
+  // computed once (in parallel, ordered by relay ASN) instead of once per
+  // VP; each VP then just scans the shared tables for its nearest relay.
   std::set<Asn> relays;
   for (std::uint32_t id = 0; id < g.num_links(); ++id) {
     if (g.link(id).v6_tunnel) relays.insert(g.link(id).a);
   }
   if (!relays.empty()) {
+    const std::vector<Asn> relay_list(relays.begin(), relays.end());
+    const auto relay_tables = compute_tables_parallel(pool, v6_view, relay_list);
     const ip::Ipv6Prefix six_to_four = ip::Ipv6Prefix::parse_or_throw("2002::/16");
     for (core::VantagePoint& vp : world.vantage_points) {
       const bgp::RouteTable* best = nullptr;
-      std::vector<bgp::RouteTable> tables;
-      tables.reserve(relays.size());
-      for (Asn relay : relays) {
-        tables.push_back(bgp::compute_routes_to(g, ip::Family::kIpv6, relay));
-        const bgp::RouteTable& t = tables.back();
+      for (const auto& table : relay_tables) {
+        const bgp::RouteTable& t = *table;
         if (!t.reachable(vp.asn)) continue;
         if (best == nullptr || t.path_length(vp.asn) < best->path_length(vp.asn)) {
           best = &t;
@@ -229,37 +256,56 @@ void build_ribs(core::World& world) {
       if (h->v6_as != topo::kNoAs) dest_set.insert(h->v6_as);
     }
   }
+  const std::vector<Asn> dests(dest_set.begin(), dest_set.end());
 
-  for (const Asn dest : dest_set) {
-    const topo::AsNode& dn = g.node(dest);
-    const auto v4_table = bgp::compute_routes_to(g, ip::Family::kIpv4, dest);
-    const auto v6_table = dn.has_v6
-                              ? std::optional(bgp::compute_routes_to(
-                                    g, ip::Family::kIpv6, dest))
-                              : std::nullopt;
-    for (core::VantagePoint& vp : world.vantage_points) {
-      if (v4_table.reachable(vp.asn)) {
-        bgp::RibEntry e;
-        e.origin = dest;
-        e.as_path = v4_table.as_path(vp.asn);
-        // Gao-Rexford: every path BGP selects must be valley-free; a
-        // violation here means compute_routes_to leaked an invalid export.
-        V6MON_ASSERT(
-            bgp::is_valley_free(g, ip::Family::kIpv4, vp.asn, e.as_path),
-            "selected IPv4 route violates valley-freedom");
-        for (const auto& p : dn.v4_prefixes) vp.rib.add_v4(p, e);
+  // Convergence fans out per destination (each table only reads the
+  // graph); insertion into the VP tries stays serial and walks `dests` in
+  // sorted-ASN order, so the RIBs never see completion order. Windowed so
+  // peak memory stays O(batch) route tables rather than O(dests).
+  struct DestTables {
+    std::optional<bgp::RouteTable> v4;
+    std::optional<bgp::RouteTable> v6;
+  };
+  const std::size_t batch = std::max<std::size_t>(64, pool.thread_count() * 16);
+  std::vector<DestTables> tables;
+  for (std::size_t window = 0; window < dests.size(); window += batch) {
+    const std::size_t count = std::min(batch, dests.size() - window);
+    tables.assign(count, DestTables{});
+    core::parallel_index(pool, count, [&](std::size_t i) {
+      const Asn dest = dests[window + i];
+      tables[i].v4 = bgp::compute_routes_to(v4_view, dest);
+      if (g.node(dest).has_v6) {
+        tables[i].v6 = bgp::compute_routes_to(v6_view, dest);
       }
-      if (v6_table && v6_table->reachable(vp.asn)) {
-        bgp::RibEntry e;
-        e.origin = dest;
-        e.as_path = v6_table->as_path(vp.asn);
-        V6MON_ASSERT(
-            bgp::is_valley_free(g, ip::Family::kIpv6, vp.asn, e.as_path),
-            "selected IPv6 route violates valley-freedom");
-        for (const auto& p : dn.v6_prefixes) {
-          // 6to4 space is covered by the anycast 2002::/16 route above.
-          if (p.network().is_6to4()) continue;
-          vp.rib.add_v6(p, e);
+    });
+    for (std::size_t i = 0; i < count; ++i) {
+      const Asn dest = dests[window + i];
+      const topo::AsNode& dn = g.node(dest);
+      const DestTables& dt = tables[i];
+      for (core::VantagePoint& vp : world.vantage_points) {
+        if (dt.v4->reachable(vp.asn)) {
+          bgp::RibEntry e;
+          e.origin = dest;
+          e.as_path = dt.v4->as_path(vp.asn);
+          // Gao-Rexford: every path BGP selects must be valley-free; a
+          // violation here means compute_routes_to leaked an invalid export.
+          V6MON_ASSERT(
+              bgp::is_valley_free(g, ip::Family::kIpv4, vp.asn, e.as_path),
+              "selected IPv4 route violates valley-freedom");
+          for (const auto& p : dn.v4_prefixes) vp.rib.add_v4(p, e);
+        }
+        if (dt.v6 && dt.v6->reachable(vp.asn)) {
+          bgp::RibEntry e;
+          e.origin = dest;
+          e.as_path = dt.v6->as_path(vp.asn);
+          V6MON_ASSERT(
+              bgp::is_valley_free(g, ip::Family::kIpv6, vp.asn, e.as_path),
+              "selected IPv6 route violates valley-freedom");
+          for (const auto& p : dn.v6_prefixes) {
+            // 6to4 space is covered by the anycast 2002::/16 route above.
+            if (p.network().is_6to4()) continue;
+            vp.rib.add_v6(p, e);
+          }
         }
       }
     }
@@ -299,14 +345,14 @@ core::World build_world(const WorldSpec& spec) {
     util::Rng tun_rng = rng.child("tunnels");
     apply_tunnel_overlay(world.graph, spec.tunnel_relays,
                          spec.tunnel_extra_latency_ms, spec.tunnel_bandwidth_factor,
-                         tun_rng);
+                         tun_rng, spec.build_threads);
   }
 
   world.origins = topo::OriginMap::build(world.graph);
   world.w6d_round = spec.w6d_round;
   world.num_rounds = static_cast<std::uint32_t>(cat_params.num_rounds);
 
-  build_ribs(world);
+  build_ribs(world, spec.build_threads);
   return world;
 }
 

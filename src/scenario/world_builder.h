@@ -61,6 +61,12 @@ struct WorldSpec {
 
   /// Round of World IPv6 Day (catalog.w6d_round is kept in sync).
   std::uint32_t w6d_round = web::kNever;
+
+  /// Worker threads for world construction (RIB convergence, tunnel relay
+  /// tables); 0 = hardware concurrency. Output is bit-identical for every
+  /// value — per-destination route tables are independent and merged in
+  /// destination-ASN order, never completion order.
+  std::size_t build_threads = 0;
 };
 
 /// Assemble a complete world:
@@ -84,10 +90,13 @@ struct TunnelStats {
 /// so tests and ablation benches can run with/without the overlay.
 TunnelStats apply_tunnel_overlay(topo::AsGraph& graph, std::size_t num_relays,
                                  double extra_latency_ms, double bandwidth_factor,
-                                 util::Rng& rng);
+                                 util::Rng& rng, std::size_t threads = 0);
 
 /// Fill every vantage point's RIB by converging BGP toward every AS that
-/// hosts content (exposed for custom scenarios).
-void build_ribs(core::World& world);
+/// hosts content (exposed for custom scenarios). Destination route tables
+/// are computed in parallel on `threads` workers (0 = hardware) and merged
+/// serially in destination-ASN order, so the resulting RIBs are
+/// bit-identical across thread counts.
+void build_ribs(core::World& world, std::size_t threads = 0);
 
 }  // namespace v6mon::scenario

@@ -5,8 +5,19 @@
 #include <limits>
 
 #include "util/contracts.h"
+#include "util/rng.h"
 
 namespace v6mon::transport {
+
+double path_quality(const std::vector<topo::Asn>& as_path, double sigma) {
+  if (sigma <= 0.0 || as_path.empty()) return 1.0;
+  std::uint64_t key = 0x9e3779b97f4a7c15ULL;
+  for (topo::Asn asn : as_path) {
+    key = util::hash_combine(key, "path-hop", asn);
+  }
+  util::Rng rng(key);
+  return std::exp(rng.normal(-sigma * sigma / 2.0, sigma));
+}
 
 PathCharacteristics characterize_path(const topo::AsGraph& graph, topo::Asn src,
                                       const std::vector<topo::Asn>& as_path,

@@ -30,4 +30,12 @@ struct PathCharacteristics {
                                                     const std::vector<topo::Asn>& as_path,
                                                     ip::Family family);
 
+/// Deterministic persistent per-path quality factor (lognormal, mean 1):
+/// real paths differ in congestion/provisioning far beyond their nominal
+/// metrics. Keyed by the AS *sequence* alone — family-blind — so the two
+/// families of an SP site share one factor while DP sites draw independent
+/// ones (the paper's Fig. 3b / Table 11 reconciliation). Pure function of
+/// (as_path, sigma); PathCache memoizes it alongside characterize_path.
+[[nodiscard]] double path_quality(const std::vector<topo::Asn>& as_path, double sigma);
+
 }  // namespace v6mon::transport

@@ -1,0 +1,55 @@
+#include "transport/path_cache.h"
+
+#include <cstring>
+#include <functional>
+#include <mutex>
+
+namespace v6mon::transport {
+
+std::string PathCache::key_of(const std::vector<topo::Asn>& as_path,
+                              ip::Family family) {
+  std::string key;
+  key.resize(1 + as_path.size() * sizeof(topo::Asn));
+  key[0] = family == ip::Family::kIpv6 ? '\x06' : '\x04';
+  // An empty path has data() == nullptr; memcpy requires non-null even
+  // for a zero-byte copy.
+  if (!as_path.empty()) {
+    std::memcpy(key.data() + 1, as_path.data(), as_path.size() * sizeof(topo::Asn));
+  }
+  return key;
+}
+
+PathCharacteristics PathCache::characteristics(
+    const std::vector<topo::Asn>& as_path, ip::Family family) {
+  lookups_.fetch_add(1, std::memory_order_relaxed);
+  const std::string key = key_of(as_path, family);
+  Shard& shard = shards_[std::hash<std::string>{}(key) % kShards];
+  {
+    std::shared_lock<std::shared_mutex> lock(shard.mu);
+    const auto it = shard.map.find(key);
+    if (it != shard.map.end()) return it->second;
+  }
+  // Compute outside any lock — pure, so a concurrent duplicate compute is
+  // wasted work at worst, never a wrong answer.
+  PathCharacteristics pc = characterize_path(graph_, src_, as_path, family);
+  pc.quality = path_quality(as_path, sigma_);
+  {
+    std::unique_lock<std::shared_mutex> lock(shard.mu);
+    const auto [it, inserted] = shard.map.try_emplace(key, pc);
+    if (inserted) misses_.fetch_add(1, std::memory_order_relaxed);
+    return it->second;  // the first writer's value, for every caller
+  }
+}
+
+PathCache::Stats PathCache::stats() const {
+  Stats s;
+  s.lookups = lookups_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  for (const Shard& shard : shards_) {
+    std::shared_lock<std::shared_mutex> lock(shard.mu);
+    s.entries += shard.map.size();
+  }
+  return s;
+}
+
+}  // namespace v6mon::transport

@@ -1,0 +1,72 @@
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "transport/path.h"
+
+namespace v6mon::transport {
+
+/// Concurrent per-vantage-point memo of characterize_path + path_quality.
+///
+/// Both are pure functions of the AS path (given the immutable post-
+/// build_world graph), yet the monitor used to recompute them for every
+/// site in every round — a campaign visits each distinct (path, family)
+/// thousands of times but a vantage point only ever selects a few hundred
+/// distinct paths. The cache characterizes each once and serves copies.
+///
+/// Invalidation: none, by design. The AS graph is frozen after
+/// build_world (links, metrics and tunnels never change mid-campaign), so
+/// an entry can never go stale. Anything downstream that *is* per-site —
+/// the 6to4 hidden-leg adjustment, the quality multiplier application —
+/// happens on the caller's copy, never on the cached entry.
+///
+/// Thread safety: sharded reader/writer maps. Lookups take a shared lock
+/// on one shard (read-mostly after the first round touches each path);
+/// misses upgrade to an exclusive lock and insert. Two threads racing on
+/// the same miss both compute the same pure value — the losing insert is
+/// a no-op, so results stay deterministic.
+class PathCache {
+ public:
+  PathCache(const topo::AsGraph& graph, topo::Asn src, double quality_sigma)
+      : graph_(graph), src_(src), sigma_(quality_sigma) {}
+
+  PathCache(const PathCache&) = delete;
+  PathCache& operator=(const PathCache&) = delete;
+
+  /// Characteristics of `as_path` in `family`, with `quality` filled in.
+  /// Returned by value: callers mutate their copy (6to4 leg, etc.).
+  [[nodiscard]] PathCharacteristics characteristics(
+      const std::vector<topo::Asn>& as_path, ip::Family family);
+
+  struct Stats {
+    std::uint64_t lookups = 0;
+    std::uint64_t misses = 0;  ///< Distinct (path, family) computations.
+    std::size_t entries = 0;
+  };
+  [[nodiscard]] Stats stats() const;
+
+ private:
+  static constexpr std::size_t kShards = 16;
+
+  struct Shard {
+    mutable std::shared_mutex mu;
+    std::unordered_map<std::string, PathCharacteristics> map;
+  };
+
+  static std::string key_of(const std::vector<topo::Asn>& as_path, ip::Family family);
+
+  const topo::AsGraph& graph_;
+  topo::Asn src_;
+  double sigma_;
+  std::array<Shard, kShards> shards_;
+  std::atomic<std::uint64_t> lookups_{0};
+  std::atomic<std::uint64_t> misses_{0};
+};
+
+}  // namespace v6mon::transport

@@ -4,6 +4,7 @@
 
 #include "topo/generator.h"
 #include "util/error.h"
+#include "util/rng.h"
 
 namespace v6mon::bgp {
 namespace {
@@ -277,6 +278,47 @@ TEST(RouteComputer, V4UniversalReachabilityOnGenerated) {
     const RouteTable t = compute_routes_to(g, ip::Family::kIpv4, dest);
     for (Asn src = 0; src < g.num_ases(); ++src) {
       EXPECT_TRUE(t.reachable(src)) << "src=" << src << " dest=" << dest;
+    }
+  }
+}
+
+// The hoisted two-stage tie-break must equal util::hash_combine(dest,
+// "bgp-tie", idx) bit-for-bit — route selection anywhere in the repo's
+// history depends on these exact ranks, so a drift here silently reroutes
+// every tied path. (route_computer.h documents this pin.)
+TEST(RouteComputer, TieBreakSplitMatchesHashCombine) {
+  util::Rng rng(4242);
+  for (int trial = 0; trial < 1000; ++trial) {
+    const std::uint64_t dest = rng.uniform_u64(0, 100000);
+    const std::uint64_t idx = rng.uniform_u64(0, ~0ULL - 1);
+    EXPECT_EQ(detail::tie_break_rank(detail::tie_break_prefix(dest), idx),
+              util::hash_combine(dest, "bgp-tie", idx));
+  }
+}
+
+// FamilyView must be exactly the family-filtered adjacency list, in the
+// graph's own per-AS order — compute_routes_to's selection (including
+// first-seen tie candidates) is only bit-identical if the edge sequence is.
+TEST(RouteComputer, FamilyViewMatchesFilteredAdjacencies) {
+  util::Rng rng(99);
+  topo::TopologyParams params;
+  params.num_tier1 = 3;
+  params.num_transit = 20;
+  params.num_stub = 60;
+  const AsGraph g = topo::generate_topology(params, rng);
+  for (ip::Family family : {ip::Family::kIpv4, ip::Family::kIpv6}) {
+    const FamilyView view(g, family);
+    ASSERT_EQ(view.num_ases(), g.num_ases());
+    for (Asn u = 0; u < g.num_ases(); ++u) {
+      const FamilyView::Edge* e = view.edges_begin(u);
+      for (const topo::Adjacency& adj : g.adjacencies(u)) {
+        if (!g.link_in_family(adj.link_id, family)) continue;
+        ASSERT_NE(e, view.edges_end(u));
+        EXPECT_EQ(e->neighbor, adj.neighbor);
+        EXPECT_EQ(e->role, adj.role);
+        ++e;
+      }
+      EXPECT_EQ(e, view.edges_end(u));
     }
   }
 }
