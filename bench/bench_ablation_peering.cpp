@@ -28,11 +28,11 @@ ParityPoint run_point(double p2p, double c2p, std::uint64_t seed, double scale) 
   core::Campaign campaign(world, scenario::paper_campaign_config(seed));
   campaign.run();
   campaign.finalize();
-  std::vector<const core::ResultsDb*> dbs;
+  std::vector<core::ObservationView> views;
   for (std::size_t i = 0; i < world.vantage_points.size(); ++i) {
-    dbs.push_back(&campaign.results(i));
+    views.emplace_back(campaign.results(i));
   }
-  const auto reports = analysis::analyze_world(world, dbs);
+  const auto reports = analysis::analyze_world(world, views);
 
   ParityPoint pt;
   pt.p2p = p2p;

@@ -120,12 +120,12 @@ void BM_Analysis(benchmark::State& state) {
     c->finalize();
     return c;
   }();
-  std::vector<const core::ResultsDb*> dbs;
+  std::vector<core::ObservationView> views;
   for (std::size_t vp = 0; vp < world.vantage_points.size(); ++vp) {
-    dbs.push_back(&campaign->results(vp));
+    views.emplace_back(campaign->results(vp));
   }
   for (auto _ : state) {
-    benchmark::DoNotOptimize(analysis::analyze_world(world, dbs));
+    benchmark::DoNotOptimize(analysis::analyze_world(world, views));
   }
 }
 BENCHMARK(BM_Analysis)->Unit(benchmark::kMillisecond);

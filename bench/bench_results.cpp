@@ -1,0 +1,132 @@
+// Ingest throughput of the ObservationSink backends: the single-mutex
+// reference store vs the per-worker sharded store, at 1 and 8 ingest
+// threads. Each lane first interns a small AS-path working set — a few
+// hundred distinct paths cover almost every observation in a campaign,
+// so the steady state records against already-resolved ids — then the
+// hot loop records observations and bumps round counters. The timed
+// region is ingest + the round-boundary flush (threads are spawned and
+// parked on a latch beforehand), so the sharded numbers include the
+// canonicalization/merge cost they defer to the epoch boundary.
+//
+// This is the before/after evidence for the sharded results layer: the
+// mutex backend takes the store's lock for every record and count, the
+// sharded backend touches no shared state until flush. (The intern
+// probe itself costs the same hash + map lookup in every backend; it is
+// deliberately amortized here so the numbers isolate the sink seam.)
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "common.h"
+#include "core/results.h"
+#include "core/sink.h"
+
+namespace {
+
+using namespace v6mon;
+
+constexpr std::uint32_t kRowsPerThread = 20000;
+constexpr std::size_t kPathPool = 200;
+
+/// Plausible AS paths (2-5 hops) the ingest threads intern over and over
+/// — mirrors a campaign, where a few hundred distinct paths cover almost
+/// all observations and the intern hot path is the already-present probe.
+std::vector<std::vector<topo::Asn>> path_pool() {
+  std::vector<std::vector<topo::Asn>> pool;
+  pool.reserve(kPathPool);
+  for (std::size_t p = 0; p < kPathPool; ++p) {
+    std::vector<topo::Asn> path;
+    const std::size_t hops = 2 + p % 4;
+    for (std::size_t h = 0; h < hops; ++h) {
+      path.push_back(static_cast<topo::Asn>(1 + (p * 131 + h * 17) % 5000));
+    }
+    pool.push_back(std::move(path));
+  }
+  return pool;
+}
+
+void ingest_rows(core::ObservationSink& sink,
+                 const std::vector<std::vector<topo::Asn>>& pool, int tid) {
+  core::ObservationSink::Lane& lane = sink.lane();
+  // Resolve the working set once per lane (ids are lane-local in the
+  // sharded backends): ~1% of the loop's work, like a campaign's warmed
+  // intern cache.
+  std::vector<core::PathId> ids;
+  ids.reserve(pool.size());
+  for (const auto& path : pool) ids.push_back(lane.paths().intern(path));
+
+  core::Observation o;
+  o.status = core::MonitorStatus::kMeasured;
+  o.v4_speed_kBps = 120.0f;
+  o.v6_speed_kBps = 95.0f;
+  o.v4_samples = 5;
+  o.v6_samples = 5;
+  o.v4_origin = 7;
+  o.v6_origin = 9;
+  std::size_t p4 = static_cast<std::size_t>(tid) % ids.size();
+  std::size_t p6 = (p4 + 1) % ids.size();
+  std::uint32_t round = 0;
+  const std::uint32_t base = static_cast<std::uint32_t>(tid) * kRowsPerThread;
+  for (std::uint32_t i = 0; i < kRowsPerThread; ++i) {
+    o.site = base + i;
+    o.round = round;
+    o.v4_path = ids[p4];
+    o.v6_path = ids[p6];
+    lane.record(o);
+    lane.count(round, o.status);
+    if (++round == 30) round = 0;
+    if (++p4 == ids.size()) p4 = 0;
+    if (++p6 == ids.size()) p6 = 0;
+  }
+}
+
+template <typename Sink>
+void bm_ingest(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  const auto pool = path_pool();
+  for (auto _ : state) {
+    core::ResultsDb db;
+    Sink sink(db);
+    // Spawn and park the workers outside the timed region: the metric
+    // is ingest throughput, not pthread_create.
+    std::atomic<bool> go{false};
+    std::vector<std::thread> workers;
+    workers.reserve(static_cast<std::size_t>(threads));
+    for (int t = 0; t < threads; ++t) {
+      workers.emplace_back([&sink, &pool, &go, t] {
+        while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+        ingest_rows(sink, pool, t);
+      });
+    }
+    const auto start = std::chrono::steady_clock::now();
+    go.store(true, std::memory_order_release);
+    for (std::thread& w : workers) w.join();
+    sink.finish();
+    const auto stop = std::chrono::steady_clock::now();
+    state.SetIterationTime(std::chrono::duration<double>(stop - start).count());
+    benchmark::DoNotOptimize(db);
+  }
+  state.SetItemsProcessed(state.iterations() * threads * kRowsPerThread);
+  state.counters["threads"] = threads;
+}
+
+void BM_IngestMutex(benchmark::State& state) {
+  bm_ingest<core::MutexSink>(state);
+}
+BENCHMARK(BM_IngestMutex)->Arg(1)->Arg(8)->UseManualTime()->Unit(benchmark::kMillisecond);
+
+void BM_IngestSharded(benchmark::State& state) {
+  bm_ingest<core::ShardedSink>(state);
+}
+BENCHMARK(BM_IngestSharded)->Arg(1)->Arg(8)->UseManualTime()->Unit(benchmark::kMillisecond);
+
+void emit() {
+  // No reproduced paper table here — this benchmark measures the results
+  // layer itself.
+}
+
+}  // namespace
+
+V6MON_BENCH_MAIN(emit)

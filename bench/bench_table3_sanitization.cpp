@@ -37,9 +37,9 @@ BENCHMARK(BM_Table3);
 // it on the largest vantage point.
 void BM_AssessSites(benchmark::State& state) {
   const auto& s = bench::Study::instance();
-  const auto& db = *s.reports.front().db;
+  const core::ObservationView view = s.reports.front().view;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(analysis::assess_sites(db, {}));
+    benchmark::DoNotOptimize(analysis::assess_sites(view, {}));
   }
 }
 BENCHMARK(BM_AssessSites);

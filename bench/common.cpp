@@ -39,12 +39,12 @@ const Study& Study::instance() {
     s.campaign->run();
     s.campaign->run_w6d();
     s.campaign->finalize();
-    std::vector<const core::ResultsDb*> dbs, w6d;
+    std::vector<core::ObservationView> views, w6d;
     for (std::size_t i = 0; i < s.world.vantage_points.size(); ++i) {
-      dbs.push_back(&s.campaign->results(i));
-      w6d.push_back(&s.campaign->w6d_results(i));
+      views.emplace_back(s.campaign->results(i));
+      w6d.emplace_back(s.campaign->w6d_results(i));
     }
-    s.reports = analysis::analyze_world(s.world, dbs);
+    s.reports = analysis::analyze_world(s.world, views);
     s.w6d_reports = analysis::analyze_world(s.world, w6d);
     std::fprintf(stderr, "[bench] analysis ready (%zu vantage points)\n",
                  s.reports.size());

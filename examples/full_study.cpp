@@ -1,12 +1,18 @@
 // The complete reproduction in one binary: builds the paper world, runs
 // the regular campaign and the World IPv6 Day event, and prints every
-// figure and table of the paper's evaluation section. CSVs land in
-// ./full_study_out/.
+// figure and table of the paper's evaluation section. CSVs (tables plus
+// the raw per-VP observation dumps) land in ./full_study_out/.
 //
-// Usage: full_study [seed] [scale]
+// Usage: full_study [seed] [scale] [sink]
+//   sink: sharded (default) | mutex | spool — the ingest backend; a pure
+//   performance/memory knob, every backend emits identical bytes. spool
+//   streams observations to full_study_out/*.spool during the campaign
+//   and replays them for the analysis (out-of-core mode).
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <fstream>
 
 #include "analysis/tables.h"
 #include "core/campaign.h"
@@ -21,6 +27,26 @@ void show(const char* title, const util::TextTable& table, const char* csv) {
   util::write_file(std::string("full_study_out/") + csv, table.to_csv());
 }
 
+core::SinkBackend parse_sink(const char* arg) {
+  if (std::strcmp(arg, "mutex") == 0) return core::SinkBackend::kMutex;
+  if (std::strcmp(arg, "spool") == 0) return core::SinkBackend::kSpool;
+  if (std::strcmp(arg, "sharded") == 0) return core::SinkBackend::kSharded;
+  std::fprintf(stderr, "unknown sink '%s' (want sharded|mutex|spool)\n", arg);
+  std::exit(2);
+}
+
+/// Stream one store's observation dump straight to disk — no
+/// materialized copy, however many million rows the campaign produced.
+void dump_observations(const core::ResultsDb& db, const std::string& name) {
+  const std::string path = "full_study_out/observations_" + name + ".csv";
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  db.write_csv(out);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -32,18 +58,27 @@ int main(int argc, char** argv) {
   const core::World world = scenario::build_paper_world(seed, scale);
   std::printf("%s\n", world.graph.summary().c_str());
 
-  core::Campaign campaign(world, scenario::paper_campaign_config(seed));
+  core::CampaignConfig cfg = scenario::paper_campaign_config(seed);
+  if (argc > 3) cfg.sink = parse_sink(argv[3]);
+  if (cfg.sink == core::SinkBackend::kSpool) {
+    util::write_file("full_study_out/.spool_dir", "");  // ensure dir exists
+    cfg.spool_dir = "full_study_out";
+  }
+  core::Campaign campaign(world, cfg);
   campaign.run();
   campaign.run_w6d();
   campaign.finalize();
 
-  std::vector<const core::ResultsDb*> dbs, w6d_dbs;
+  std::vector<core::ObservationView> views, w6d_views;
   for (std::size_t i = 0; i < world.vantage_points.size(); ++i) {
-    dbs.push_back(&campaign.results(i));
-    w6d_dbs.push_back(&campaign.w6d_results(i));
+    views.emplace_back(campaign.results(i));
+    w6d_views.emplace_back(campaign.w6d_results(i));
+    dump_observations(campaign.results(i), world.vantage_points[i].name);
+    dump_observations(campaign.w6d_results(i),
+                      world.vantage_points[i].name + "_w6d");
   }
-  const auto reports = analysis::analyze_world(world, dbs);
-  auto w6d_reports = analysis::analyze_world(world, w6d_dbs);
+  const auto reports = analysis::analyze_world(world, views);
+  auto w6d_reports = analysis::analyze_world(world, w6d_views);
   // The paper's W6D tables exclude Comcast (no event data there).
   std::erase_if(w6d_reports,
                 [](const analysis::VpReport& r) { return r.name == "Comcast"; });

@@ -48,11 +48,11 @@ Outcome evaluate(double p2p, double c2p, bool core_dual_stack, bool vp_parity,
   core::Campaign campaign(world, scenario::paper_campaign_config(seed));
   campaign.run();
   campaign.finalize();
-  std::vector<const core::ResultsDb*> dbs;
+  std::vector<core::ObservationView> views;
   for (std::size_t i = 0; i < world.vantage_points.size(); ++i) {
-    dbs.push_back(&campaign.results(i));
+    views.emplace_back(campaign.results(i));
   }
-  const auto reports = analysis::analyze_world(world, dbs);
+  const auto reports = analysis::analyze_world(world, views);
 
   Outcome o;
   double sp = 0, dp = 0, sim = 0, ases = 0, log_ratio = 0, n = 0;

@@ -35,11 +35,11 @@ int main(int argc, char** argv) {
   campaign.finalize();
 
   std::printf("[3/4] analyzing (sanitization -> DL/SP/DP -> AS-level)...\n");
-  std::vector<const core::ResultsDb*> dbs;
+  std::vector<core::ObservationView> views;
   for (std::size_t i = 0; i < world.vantage_points.size(); ++i) {
-    dbs.push_back(&campaign.results(i));
+    views.emplace_back(campaign.results(i));
   }
-  const auto reports = analysis::analyze_world(world, dbs);
+  const auto reports = analysis::analyze_world(world, views);
 
   std::printf("[4/4] results\n\n");
   std::printf("Site classification (paper Table 4):\n%s\n",

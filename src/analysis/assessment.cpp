@@ -1,6 +1,7 @@
 #include "analysis/assessment.h"
 
 #include <algorithm>
+#include <span>
 #include <unordered_map>
 
 #include "util/stats.h"
@@ -40,27 +41,39 @@ bool path_changed_around(const std::vector<core::PathId>& paths, std::size_t at)
 
 }  // namespace
 
-std::vector<SiteAssessment> assess_sites(const core::ResultsDb& db,
+std::vector<SiteAssessment> assess_sites(core::ObservationView view,
                                          const AssessmentParams& params) {
   std::vector<SiteAssessment> out;
-  out.reserve(db.all_series().size());
+  out.reserve(view.num_sites());
 
-  for (const auto& [site_id, series] : db.all_series()) {
+  // Reused across sites: the assessment only ever looks at one site's
+  // measured rounds at a time.
+  std::vector<double> v4_speeds, v6_speeds;
+  std::vector<core::PathId> v4_paths, v6_paths;
+  std::vector<topo::Asn> v4_origins, v6_origins;
+
+  for (const std::uint32_t site_id : view.site_ids()) {
+    const core::SiteSeries series = view.series(site_id);
     SiteAssessment a;
     a.site = site_id;
 
-    // Collect measured rounds.
-    std::vector<double> v4_speeds, v6_speeds;
-    std::vector<core::PathId> v4_paths, v6_paths;
-    std::vector<topo::Asn> v4_origins, v6_origins;
-    for (const core::Observation& o : series) {
-      if (o.status != core::MonitorStatus::kMeasured) continue;
-      v4_speeds.push_back(o.v4_speed_kBps);
-      v6_speeds.push_back(o.v6_speed_kBps);
-      v4_paths.push_back(o.v4_path);
-      v6_paths.push_back(o.v6_path);
-      v4_origins.push_back(o.v4_origin);
-      v6_origins.push_back(o.v6_origin);
+    // Collect measured rounds. The columnar store hands back one span
+    // per field, so this scan touches only the bytes it reads.
+    v4_speeds.clear();
+    v6_speeds.clear();
+    v4_paths.clear();
+    v6_paths.clear();
+    v4_origins.clear();
+    v6_origins.clear();
+    const std::span<const core::MonitorStatus> statuses = series.statuses();
+    for (std::size_t i = 0; i < series.size(); ++i) {
+      if (statuses[i] != core::MonitorStatus::kMeasured) continue;
+      v4_speeds.push_back(series.v4_speeds()[i]);
+      v6_speeds.push_back(series.v6_speeds()[i]);
+      v4_paths.push_back(series.v4_paths()[i]);
+      v6_paths.push_back(series.v6_paths()[i]);
+      v4_origins.push_back(series.v4_origins()[i]);
+      v6_origins.push_back(series.v6_origins()[i]);
     }
     a.rounds_measured = v4_speeds.size();
     if (a.rounds_measured > 0) {
@@ -135,8 +148,7 @@ std::vector<SiteAssessment> assess_sites(const core::ResultsDb& db,
     out.push_back(a);
   }
 
-  std::sort(out.begin(), out.end(),
-            [](const SiteAssessment& x, const SiteAssessment& y) { return x.site < y.site; });
+  // site_ids() is ascending, so the output is already sorted by site.
   return out;
 }
 

@@ -64,9 +64,11 @@ struct SiteAssessment {
   bool path_changed_at_step = false;
 };
 
-/// Assess every site that has measurement series in the database.
-/// The database must be finalized (series sorted by round).
-[[nodiscard]] std::vector<SiteAssessment> assess_sites(const core::ResultsDb& db,
+/// Assess every site that has measurement series in the view. The
+/// backing store must be finalized (series sorted by round); whether it
+/// was ingested in memory or replayed from a spool is invisible here.
+/// Output is ordered by ascending site id.
+[[nodiscard]] std::vector<SiteAssessment> assess_sites(core::ObservationView view,
                                                        const AssessmentParams& params);
 
 }  // namespace v6mon::analysis

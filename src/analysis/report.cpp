@@ -2,12 +2,12 @@
 
 namespace v6mon::analysis {
 
-VpReport analyze_vp(const std::string& name, const core::ResultsDb& db,
+VpReport analyze_vp(const std::string& name, core::ObservationView view,
                     const AssessmentParams& ap, const AsLevelParams& lp) {
   VpReport r;
   r.name = name;
-  r.db = &db;
-  r.assessments = assess_sites(db, ap);
+  r.view = view;
+  r.assessments = assess_sites(view, ap);
   for (const SiteAssessment& a : r.assessments) {
     (a.outcome == SiteOutcome::kKept ? r.kept : r.removed).push_back(a);
   }
@@ -21,13 +21,13 @@ VpReport analyze_vp(const std::string& name, const core::ResultsDb& db,
 }
 
 std::vector<VpReport> analyze_world(const core::World& world,
-                                    const std::vector<const core::ResultsDb*>& dbs,
+                                    const std::vector<core::ObservationView>& views,
                                     const AssessmentParams& ap,
                                     const AsLevelParams& lp) {
   std::vector<VpReport> out;
-  for (std::size_t i = 0; i < world.vantage_points.size() && i < dbs.size(); ++i) {
+  for (std::size_t i = 0; i < world.vantage_points.size() && i < views.size(); ++i) {
     if (!world.vantage_points[i].has_as_path) continue;
-    out.push_back(analyze_vp(world.vantage_points[i].name, *dbs[i], ap, lp));
+    out.push_back(analyze_vp(world.vantage_points[i].name, views[i], ap, lp));
   }
   return out;
 }

@@ -14,7 +14,9 @@ namespace v6mon::analysis {
 /// Everything the table builders need about one vantage point's campaign.
 struct VpReport {
   std::string name;
-  const core::ResultsDb* db = nullptr;
+  /// Read-only window onto the VP's observations (in-memory store or
+  /// replayed spool — the table builders cannot tell the difference).
+  core::ObservationView view;
 
   std::vector<SiteAssessment> assessments;  ///< All assessed sites.
   std::vector<SiteAssessment> kept;
@@ -31,17 +33,18 @@ struct VpReport {
   }
 };
 
-/// Run the full Fig. 4 pipeline for one vantage point's results database
-/// (which must be finalized).
-[[nodiscard]] VpReport analyze_vp(const std::string& name, const core::ResultsDb& db,
+/// Run the full Fig. 4 pipeline over one vantage point's observations
+/// (the view's backing store must be finalized). A finalized ResultsDb
+/// converts implicitly.
+[[nodiscard]] VpReport analyze_vp(const std::string& name, core::ObservationView view,
                                   const AssessmentParams& ap = {},
                                   const AsLevelParams& lp = {});
 
 /// Analyze the AS_PATH-capable vantage points of a world in one call.
-/// `dbs[i]` pairs with `world.vantage_points[i]`; VPs without AS_PATH are
-/// skipped (they cannot feed the path-based methodology).
+/// `views[i]` pairs with `world.vantage_points[i]`; VPs without AS_PATH
+/// are skipped (they cannot feed the path-based methodology).
 [[nodiscard]] std::vector<VpReport> analyze_world(
-    const core::World& world, const std::vector<const core::ResultsDb*>& dbs,
+    const core::World& world, const std::vector<core::ObservationView>& views,
     const AssessmentParams& ap = {}, const AsLevelParams& lp = {});
 
 }  // namespace v6mon::analysis

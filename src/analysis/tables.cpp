@@ -122,10 +122,10 @@ Table2Sets table2_sets(const VpReport& vp) {
       s.crossed_v6.insert(a.v6_origin);
     }
     if (a.v4_path != core::kNoPath) {
-      for (topo::Asn hop : vp.db->paths().path(a.v4_path)) s.crossed_v4.insert(hop);
+      for (topo::Asn hop : vp.view.paths().path(a.v4_path)) s.crossed_v4.insert(hop);
     }
     if (a.v6_path != core::kNoPath) {
-      for (topo::Asn hop : vp.db->paths().path(a.v6_path)) s.crossed_v6.insert(hop);
+      for (topo::Asn hop : vp.view.paths().path(a.v6_path)) s.crossed_v6.insert(hop);
     }
   }
   return s;
@@ -358,7 +358,7 @@ std::size_t hop_bucket(std::size_t hops) {
 
 std::size_t path_len(const VpReport& vp, core::PathId id) {
   if (id == core::kNoPath) return 0;
-  return vp.db->paths().path(id).size();
+  return vp.view.paths().path(id).size();
 }
 
 HopCountRow hopcount_row(const VpReport& vp, bool sp_only) {
@@ -538,13 +538,13 @@ std::vector<Table13Col> table13_good_as(const std::vector<VpReport>& vps) {
   for (const VpReport& vp : vps) {
     sp_per_vp.push_back(vp.sp_ases);
     sp_sites_per_vp.push_back(vp.kept_classified);
-    registries.push_back(&vp.db->paths());
+    registries.push_back(&vp.view.paths());
   }
   const std::set<topo::Asn> good = good_as_set(sp_per_vp, sp_sites_per_vp, registries);
 
   std::vector<Table13Col> cols;
   for (const VpReport& vp : vps) {
-    cols.push_back({vp.name, good_as_coverage(vp.kept_classified, good, vp.db->paths())});
+    cols.push_back({vp.name, good_as_coverage(vp.kept_classified, good, vp.view.paths())});
   }
   return cols;
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <thread>
 
+#include "core/spool.h"
 #include "core/thread_pool.h"
 #include "util/contracts.h"
 #include "web/dns_backend.h"
@@ -17,18 +18,37 @@ CampaignConfig Campaign::resolve(CampaignConfig config) {
   return config;
 }
 
+void Campaign::init_store(VpStore& store, std::size_t vp_index,
+                          const char* tag) const {
+  store.db = std::make_unique<ResultsDb>();
+  switch (config_.sink) {
+    case SinkBackend::kMutex:
+      store.sink = std::make_unique<MutexSink>(*store.db);
+      break;
+    case SinkBackend::kSharded:
+      store.sink = std::make_unique<ShardedSink>(*store.db);
+      break;
+    case SinkBackend::kSpool:
+      store.spool_path =
+          config_.spool_dir + "/vp" + std::to_string(vp_index) + tag + ".spool";
+      store.sink = std::make_unique<SpoolSink>(store.spool_path);
+      break;
+  }
+  V6MON_ENSURE(store.sink != nullptr, "unhandled sink backend");
+}
+
 Campaign::Campaign(const World& world, CampaignConfig config)
     : world_(world), config_(resolve(std::move(config))), pool_(config_.threads) {
-  for (const VantagePoint& vp : world_.vantage_points) {
-    results_.push_back(std::make_unique<ResultsDb>());
-    w6d_results_.push_back(std::make_unique<ResultsDb>());
-    monitors_.emplace_back(world_, vp, config_.monitor);
+  for (std::size_t vp = 0; vp < world_.vantage_points.size(); ++vp) {
+    init_store(stores_.emplace_back(), vp, "");
+    init_store(w6d_stores_.emplace_back(), vp, "_w6d");
+    monitors_.emplace_back(world_, world_.vantage_points[vp], config_.monitor);
   }
 }
 
 void Campaign::run_sites(std::size_t vp_index, std::uint32_t round,
-                         const std::vector<std::uint32_t>& sites, ResultsDb& db,
-                         std::uint64_t salt) {
+                         const std::vector<std::uint32_t>& sites,
+                         ObservationSink& sink, std::uint64_t salt) {
   V6MON_REQUIRE(vp_index < monitors_.size(), "vantage point index out of range");
   if (sites.empty()) return;
   const Monitor& monitor = monitors_[vp_index];
@@ -36,6 +56,9 @@ void Campaign::run_sites(std::size_t vp_index, std::uint32_t round,
   const util::Rng root(config_.seed);
 
   parallel_index(pool_, sites.size(), [&](std::size_t i) {
+    // The worker's private lane: recording and counting touch no shared
+    // state; path ids are canonicalized at the round-boundary flush.
+    ObservationSink::Lane& lane = sink.lane();
     const web::Site& site = world_.catalog.site(sites[i]);
     // Every RNG stream is keyed per (site, round, salt) — never by chunk
     // bounds or worker identity — so scheduling granularity is a pure
@@ -46,23 +69,33 @@ void Campaign::run_sites(std::size_t vp_index, std::uint32_t round,
         ((static_cast<std::uint64_t>(vp_index) * 4096 + round) << 32) |
         (site.id ^ salt);
     const Observation obs = monitor.monitor_site(
-        site, round, resolver, root.child("monitor", key), db.paths());
-    db.count(round, obs.status);
+        site, round, resolver, root.child("monitor", key), lane.paths());
+    lane.count(round, obs.status);
     if (obs.status == MonitorStatus::kMeasured ||
         obs.status == MonitorStatus::kDifferentContent ||
         obs.status == MonitorStatus::kV4DownloadFailed ||
         obs.status == MonitorStatus::kV6DownloadFailed) {
-      db.add(obs);
+      lane.record(obs);
     }
   });
+  // Round boundary: merge every worker shard into the backing store (or
+  // stream it to the spool) in one deterministic pass.
+  sink.flush();
 }
 
 void Campaign::run_round(std::size_t vp_index, std::uint32_t round) {
   V6MON_REQUIRE(vp_index < world_.vantage_points.size(),
                 "vantage point index out of range");
+  V6MON_REQUIRE(!finalized_, "run_round after finalize()");
   const VantagePoint& vp = world_.vantage_points[vp_index];
   if (round < vp.start_round) return;
-  ResultsDb& db = *results_[vp_index];
+  VpStore& store = stores_[vp_index];
+  // One ingest epoch at a time per store: concurrent run_round calls on
+  // the same vantage point serialize here, upholding the sink's
+  // flush-without-lane-traffic contract.
+  std::lock_guard<std::mutex> epoch(store.epoch_mu);
+  ObservationSink& sink = *store.sink;
+  ObservationSink::Lane& lane = sink.lane();  // coordinator's own lane
 
   // Collect this round's work list. The fast path settles v4-only sites
   // inline: with no DNS failure injection their pipeline outcome is
@@ -76,7 +109,7 @@ void Campaign::run_round(std::size_t vp_index, std::uint32_t round) {
     if (!s.in_list_at(round)) continue;
     ++listed;
     if (can_fast_path && !s.dual_stack_at(round)) {
-      db.count(round, MonitorStatus::kV4Only);
+      lane.count(round, MonitorStatus::kV4Only);
       continue;
     }
     work.push_back(s.id);
@@ -85,14 +118,14 @@ void Campaign::run_round(std::size_t vp_index, std::uint32_t round) {
   // site — losing work here silently skews every downstream table.
   V6MON_ENSURE(work.size() <= listed,
                "work list cannot exceed the listed population");
-  db.count_listed(round, listed);
+  sink.count_listed(round, listed);
 
   // Randomize monitoring order (the paper randomizes per round to avoid
   // time-of-day bias).
   util::Rng order = util::Rng(config_.seed).child("order", (vp_index << 20) | round);
   order.shuffle(work);
 
-  run_sites(vp_index, round, work, db, /*salt=*/0);
+  run_sites(vp_index, round, work, sink, /*salt=*/0);
 }
 
 void Campaign::run() {
@@ -105,25 +138,42 @@ void Campaign::run() {
 
 void Campaign::run_w6d() {
   if (world_.w6d_round == web::kNever) return;
+  V6MON_REQUIRE(!finalized_, "run_w6d after finalize()");
   std::vector<std::uint32_t> participants;
   for (const web::Site& s : world_.catalog.sites()) {
     if (s.w6d_participant) participants.push_back(s.id);
   }
   for (std::size_t vp = 0; vp < world_.vantage_points.size(); ++vp) {
     if (world_.vantage_points[vp].start_round > world_.w6d_round) continue;
-    ResultsDb& db = *w6d_results_[vp];
+    VpStore& store = w6d_stores_[vp];
+    std::lock_guard<std::mutex> epoch(store.epoch_mu);
     for (std::size_t mini = 0; mini < config_.w6d_mini_rounds; ++mini) {
       // All mini-rounds happen at the W6D calendar round (same DNS state)
-      // but with independent randomness.
-      run_sites(vp, world_.w6d_round, participants, db,
+      // but with independent randomness. Each run_sites call is one
+      // ingest epoch, flushed at its end, so a site's mini-round
+      // observations land in mini order.
+      run_sites(vp, world_.w6d_round, participants, *store.sink,
                 /*salt=*/0x60d00000ULL + mini);
     }
   }
 }
 
 void Campaign::finalize() {
-  for (auto& db : results_) db->finalize();
-  for (auto& db : w6d_results_) db->finalize();
+  if (finalized_) return;
+  finalized_ = true;
+  for (std::deque<VpStore>* group : {&stores_, &w6d_stores_}) {
+    for (VpStore& store : *group) {
+      std::lock_guard<std::mutex> epoch(store.epoch_mu);
+      store.sink->finish();
+      if (!store.spool_path.empty()) {
+        // Out-of-core campaign: pull the spooled rows back in for the
+        // analysis pass. The replayed store is indistinguishable from an
+        // in-memory run (tests assert byte equality).
+        replay_spool_file(store.spool_path, *store.db);
+      }
+      store.db->finalize();
+    }
+  }
 }
 
 }  // namespace v6mon::core

@@ -1,14 +1,26 @@
 #pragma once
 
+#include <deque>
 #include <memory>
+#include <mutex>
+#include <string>
 #include <vector>
 
 #include "core/monitor.h"
 #include "core/results.h"
+#include "core/sink.h"
 #include "core/thread_pool.h"
 #include "core/world.h"
 
 namespace v6mon::core {
+
+/// Which ObservationSink backend the campaign ingests through (see
+/// core/sink.h). All backends produce byte-identical observables.
+enum class SinkBackend : std::uint8_t {
+  kMutex,    ///< Reference store: one global mutex per observation.
+  kSharded,  ///< Per-worker shards, lock-free hot path (default).
+  kSpool,    ///< Out-of-core: binary spool files, replayed at finalize().
+};
 
 /// Campaign-level configuration.
 struct CampaignConfig {
@@ -25,6 +37,12 @@ struct CampaignConfig {
   /// Mini-rounds run during the World IPv6 Day event (the paper monitored
   /// participants every 30 minutes for the day).
   std::size_t w6d_mini_rounds = 12;
+  /// Results-ingest backend; a pure performance/memory knob (every
+  /// backend reproduces the same bytes).
+  SinkBackend sink = SinkBackend::kSharded;
+  /// Directory for SinkBackend::kSpool files (vp<i>.spool and
+  /// vp<i>_w6d.spool). Must exist and be writable.
+  std::string spool_dir = ".";
 };
 
 /// Runs the paper's measurement campaign: for every vantage point, one
@@ -39,6 +57,8 @@ class Campaign {
   void run();
 
   /// Run one round for one vantage point (exposed for tests/examples).
+  /// Safe to call concurrently from several threads — ingest epochs on
+  /// one vantage point's store are serialized internally.
   void run_round(std::size_t vp_index, std::uint32_t round);
 
   /// Run the World IPv6 Day special event for every vantage point.
@@ -46,20 +66,34 @@ class Campaign {
   void run_w6d();
 
   [[nodiscard]] const ResultsDb& results(std::size_t vp_index) const {
-    return *results_.at(vp_index);
+    return *stores_.at(vp_index).db;
   }
   [[nodiscard]] const ResultsDb& w6d_results(std::size_t vp_index) const {
-    return *w6d_results_.at(vp_index);
+    return *w6d_stores_.at(vp_index).db;
   }
   [[nodiscard]] const World& world() const { return world_; }
   [[nodiscard]] const CampaignConfig& config() const { return config_; }
 
-  /// Sort series; call after all runs, before analysis.
+  /// End ingest and build the analysis views: close sinks (replaying
+  /// spool files for the kSpool backend) and finalize every ResultsDb.
+  /// Call after all runs, before analysis. Idempotent; no run_round /
+  /// run_w6d calls may follow.
   void finalize();
 
  private:
+  /// One vantage point's results store: the database, the ingest sink in
+  /// front of it, and the epoch lock serializing rounds on this store.
+  struct VpStore {
+    std::unique_ptr<ResultsDb> db;
+    std::unique_ptr<ObservationSink> sink;
+    std::string spool_path;  ///< Non-empty for the kSpool backend.
+    std::mutex epoch_mu;
+  };
+
+  /// Populate a freshly emplaced store in place (VpStore is immovable).
+  void init_store(VpStore& store, std::size_t vp_index, const char* tag) const;
   void run_sites(std::size_t vp_index, std::uint32_t round,
-                 const std::vector<std::uint32_t>& sites, ResultsDb& db,
+                 const std::vector<std::uint32_t>& sites, ObservationSink& sink,
                  std::uint64_t salt);
 
   /// Fill in config.threads when left at 0 (done before pool_ spins up).
@@ -73,9 +107,11 @@ class Campaign {
   /// work-stealing counter, not fixed chunks, so a straggler (dual-stack
   /// site with a long CI loop) only ever delays its own worker.
   ThreadPool pool_;
-  std::vector<std::unique_ptr<ResultsDb>> results_;
-  std::vector<std::unique_ptr<ResultsDb>> w6d_results_;
+  /// Deques: VpStore holds a mutex and is therefore immovable.
+  std::deque<VpStore> stores_;
+  std::deque<VpStore> w6d_stores_;
   std::vector<Monitor> monitors_;
+  bool finalized_ = false;
 };
 
 }  // namespace v6mon::core

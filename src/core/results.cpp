@@ -1,33 +1,49 @@
 #include "core/results.h"
 
 #include <algorithm>
-#include <cstring>
+#include <numeric>
 #include <sstream>
 
+#include "util/contracts.h"
 #include "util/error.h"
 
 namespace v6mon::core {
 
-std::string PathRegistry::key_of(const std::vector<topo::Asn>& path) {
-  std::string key;
-  key.resize(path.size() * sizeof(topo::Asn));
-  // An empty path has data() == nullptr; memcpy requires non-null even
-  // for a zero-byte copy.
-  if (!path.empty()) std::memcpy(key.data(), path.data(), key.size());
-  return key;
+// --- PathRegistry ----------------------------------------------------------
+
+std::size_t PathRegistry::SpanHash::operator()(const SpanKey& k) const noexcept {
+  // FNV-1a over the ASN words, seeded with the length so prefixes of a
+  // path hash apart from the path itself.
+  std::uint64_t h = 0xcbf29ce484222325ULL ^ k.len;
+  for (std::uint32_t i = 0; i < k.len; ++i) {
+    h ^= k.data[i];
+    h *= 0x100000001b3ULL;
+  }
+  return static_cast<std::size_t>(h);
 }
 
-PathId PathRegistry::intern(const std::vector<topo::Asn>& path) {
-  const std::string key = key_of(path);
+bool PathRegistry::SpanEq::operator()(const SpanKey& a,
+                                      const SpanKey& b) const noexcept {
+  if (a.len != b.len) return false;
+  return std::equal(a.data, a.data + a.len, b.data);
+}
+
+PathId PathRegistry::intern(std::span<const topo::Asn> path) {
+  const SpanKey probe{path.data(), static_cast<std::uint32_t>(path.size())};
   std::lock_guard<std::mutex> lock(mu_);
-  const auto [it, inserted] = index_.try_emplace(key, static_cast<PathId>(paths_.size()));
-  if (inserted) paths_.push_back(path);
-  return it->second;
+  const auto it = index_.find(probe);
+  if (it != index_.end()) return it->second;  // hot path: zero allocations
+  const PathId id = static_cast<PathId>(paths_.size());
+  // Deque storage: elements never move, so the key can point into it.
+  std::vector<topo::Asn>& stored = paths_.emplace_back(path.begin(), path.end());
+  index_.emplace(SpanKey{stored.data(), probe.len}, id);
+  return id;
 }
 
 const std::vector<topo::Asn>& PathRegistry::path(PathId id) const {
   std::lock_guard<std::mutex> lock(mu_);
-  return paths_.at(id);
+  V6MON_REQUIRE(id < paths_.size(), "path id out of range");
+  return paths_[id];
 }
 
 std::size_t PathRegistry::size() const {
@@ -46,19 +62,9 @@ std::string PathRegistry::to_string(PathId id) const {
   return p.empty() ? "(local)" : out.str();
 }
 
-void ResultsDb::add(const Observation& obs) {
-  std::lock_guard<std::mutex> lock(mu_);
-  series_[obs.site].push_back(obs);
-}
+// --- Counters ---------------------------------------------------------------
 
-RoundCounters& ResultsDb::round_slot(std::uint32_t round) {
-  if (round >= rounds_.size()) rounds_.resize(round + 1);
-  return rounds_[round];
-}
-
-void ResultsDb::count(std::uint32_t round, MonitorStatus status) {
-  std::lock_guard<std::mutex> lock(mu_);
-  RoundCounters& c = round_slot(round);
+void apply_status(RoundCounters& c, MonitorStatus status) {
   switch (status) {
     case MonitorStatus::kDnsFailed: ++c.dns_failed; break;
     case MonitorStatus::kV4Only: ++c.v4_only; break;
@@ -79,14 +85,113 @@ void ResultsDb::count(std::uint32_t round, MonitorStatus status) {
   }
 }
 
+// --- ObservationColumns ------------------------------------------------------
+
+void ObservationColumns::reserve(std::size_t n) {
+  site.reserve(n);
+  round.reserve(n);
+  status.reserve(n);
+  v4_speed_kBps.reserve(n);
+  v6_speed_kBps.reserve(n);
+  v4_samples.reserve(n);
+  v6_samples.reserve(n);
+  v4_path.reserve(n);
+  v6_path.reserve(n);
+  v4_origin.reserve(n);
+  v6_origin.reserve(n);
+}
+
+void ObservationColumns::push_back(const Observation& o) {
+  site.push_back(o.site);
+  round.push_back(o.round);
+  status.push_back(o.status);
+  v4_speed_kBps.push_back(o.v4_speed_kBps);
+  v6_speed_kBps.push_back(o.v6_speed_kBps);
+  v4_samples.push_back(o.v4_samples);
+  v6_samples.push_back(o.v6_samples);
+  v4_path.push_back(o.v4_path);
+  v6_path.push_back(o.v6_path);
+  v4_origin.push_back(o.v4_origin);
+  v6_origin.push_back(o.v6_origin);
+}
+
+Observation ObservationColumns::row(std::size_t i) const {
+  Observation o;
+  o.site = site[i];
+  o.round = round[i];
+  o.status = status[i];
+  o.v4_speed_kBps = v4_speed_kBps[i];
+  o.v6_speed_kBps = v6_speed_kBps[i];
+  o.v4_samples = v4_samples[i];
+  o.v6_samples = v6_samples[i];
+  o.v4_path = v4_path[i];
+  o.v6_path = v6_path[i];
+  o.v4_origin = v4_origin[i];
+  o.v6_origin = v6_origin[i];
+  return o;
+}
+
+// --- ResultsDb ---------------------------------------------------------------
+
+void ResultsDb::add(const Observation& obs) {
+  std::lock_guard<std::mutex> lock(mu_);
+  staging_.push_back(obs);
+}
+
+void ResultsDb::merge_rows(std::span<const Observation> batch) {
+  if (batch.empty()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  staging_.insert(staging_.end(), batch.begin(), batch.end());
+}
+
+void ResultsDb::seal_staging() {
+  if (staging_.empty()) return;
+  staged_batches_.push_back(std::move(staging_));
+  staging_ = {};
+}
+
+void ResultsDb::merge_rows(std::vector<Observation>&& batch) {
+  if (batch.empty()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  // Seal any loose add()/span rows first so the batch lands after them.
+  seal_staging();
+  staged_batches_.push_back(std::move(batch));
+}
+
+RoundCounters& ResultsDb::round_slot(std::uint32_t round) {
+  if (round >= rounds_.size()) rounds_.resize(round + 1);
+  return rounds_[round];
+}
+
+void ResultsDb::count(std::uint32_t round, MonitorStatus status) {
+  std::lock_guard<std::mutex> lock(mu_);
+  apply_status(round_slot(round), status);
+}
+
 void ResultsDb::count_listed(std::uint32_t round, std::uint64_t n) {
   std::lock_guard<std::mutex> lock(mu_);
   round_slot(round).listed += n;
 }
 
-const std::vector<Observation>* ResultsDb::series(std::uint32_t site) const {
-  const auto it = series_.find(site);
-  return it == series_.end() ? nullptr : &it->second;
+void ResultsDb::merge_counters(const std::vector<RoundCounters>& deltas) {
+  if (deltas.empty()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (std::uint32_t r = 0; r < deltas.size(); ++r) {
+    round_slot(r) += deltas[r];
+  }
+}
+
+void ResultsDb::merge_counters(std::uint32_t round, const RoundCounters& delta) {
+  std::lock_guard<std::mutex> lock(mu_);
+  round_slot(round) += delta;
+}
+
+SiteSeries ResultsDb::series(std::uint32_t site) const {
+  V6MON_REQUIRE(finalized_, "series() requires a finalized ResultsDb");
+  if (site >= site_index_.size()) return {};
+  const SiteRef ref = site_index_[site];
+  if (ref.count == 0) return {};
+  return SiteSeries(&cols_, ref.offset, ref.count);
 }
 
 const RoundCounters& ResultsDb::round_counters(std::uint32_t round) const {
@@ -96,33 +201,104 @@ const RoundCounters& ResultsDb::round_counters(std::uint32_t round) const {
 }
 
 void ResultsDb::finalize() {
-  for (auto& [site, obs] : series_) {
-    std::sort(obs.begin(), obs.end(),
+  std::lock_guard<std::mutex> lock(mu_);
+  if (finalized_ && staging_.empty() && staged_batches_.empty()) return;
+
+  // Materialize every row: the already-finalized columns (when data
+  // arrives after a finalize) followed by the staged batches and loose
+  // rows, preserving insertion order — the per-site order the round
+  // sequence produced.
+  seal_staging();
+  std::size_t staged = 0;
+  for (const auto& b : staged_batches_) staged += b.size();
+  std::vector<Observation> rows;
+  rows.reserve(cols_.size() + staged);
+  for (std::size_t i = 0; i < cols_.size(); ++i) rows.push_back(cols_.row(i));
+  for (const auto& b : staged_batches_) rows.insert(rows.end(), b.begin(), b.end());
+  staged_batches_.clear();
+  staged_batches_.shrink_to_fit();
+
+  // Group by site, keeping insertion order within each site's run.
+  std::vector<std::size_t> idx(rows.size());
+  std::iota(idx.begin(), idx.end(), std::size_t{0});
+  std::stable_sort(idx.begin(), idx.end(), [&rows](std::size_t a, std::size_t b) {
+    return rows[a].site < rows[b].site;
+  });
+
+  cols_ = ObservationColumns{};
+  cols_.reserve(rows.size());
+  site_ids_.clear();
+  site_index_.clear();
+  if (!rows.empty()) {
+    site_index_.resize(rows[idx.back()].site + std::size_t{1});
+  }
+
+  std::vector<Observation> per_site;
+  std::size_t i = 0;
+  while (i < idx.size()) {
+    const std::uint32_t site = rows[idx[i]].site;
+    per_site.clear();
+    for (; i < idx.size() && rows[idx[i]].site == site; ++i) {
+      per_site.push_back(rows[idx[i]]);
+    }
+    // Sort each site's series by round (same call the row store made, so
+    // equal-round W6D mini-rounds land in the identical order and CSVs
+    // reproduce byte for byte).
+    std::sort(per_site.begin(), per_site.end(),
               [](const Observation& a, const Observation& b) { return a.round < b.round; });
+    site_index_[site] = {static_cast<std::uint32_t>(cols_.size()),
+                         static_cast<std::uint32_t>(per_site.size())};
+    site_ids_.push_back(site);
+    for (const Observation& o : per_site) cols_.push_back(o);
+  }
+  finalized_ = true;
+}
+
+void ResultsDb::write_rows_csv(std::ostream& out, const Observation* rows,
+                               std::size_t n) const {
+  for (std::size_t i = 0; i < n; ++i) {
+    const Observation& o = rows[i];
+    out << o.site << ',' << o.round << ',' << monitor_status_name(o.status) << ','
+        << o.v4_speed_kBps << ',' << o.v6_speed_kBps << ',' << o.v4_samples << ','
+        << o.v6_samples << ',';
+    if (o.v4_origin != topo::kNoAs) out << o.v4_origin;
+    out << ',';
+    if (o.v6_origin != topo::kNoAs) out << o.v6_origin;
+    out << ',' << paths_.to_string(o.v4_path) << ',' << paths_.to_string(o.v6_path)
+        << '\n';
   }
 }
 
-std::string ResultsDb::to_csv() const {
-  std::vector<std::uint32_t> sites;
-  sites.reserve(series_.size());
-  for (const auto& [site, obs] : series_) sites.push_back(site);
-  std::sort(sites.begin(), sites.end());
-
-  std::ostringstream out;
+void ResultsDb::write_csv(std::ostream& out) const {
   out << "site,round,status,v4_speed_kBps,v6_speed_kBps,v4_samples,v6_samples,"
          "v4_origin,v6_origin,v4_path,v6_path\n";
-  for (std::uint32_t site : sites) {
-    for (const Observation& o : series_.at(site)) {
-      out << o.site << ',' << o.round << ',' << monitor_status_name(o.status) << ','
-          << o.v4_speed_kBps << ',' << o.v6_speed_kBps << ',' << o.v4_samples << ','
-          << o.v6_samples << ',';
-      if (o.v4_origin != topo::kNoAs) out << o.v4_origin;
-      out << ',';
-      if (o.v6_origin != topo::kNoAs) out << o.v6_origin;
-      out << ',' << paths_.to_string(o.v4_path) << ',' << paths_.to_string(o.v6_path)
-          << '\n';
+  if (finalized_) {
+    // Columns are already site-major and round-sorted: stream straight
+    // through, one row at a time.
+    for (std::size_t i = 0; i < cols_.size(); ++i) {
+      const Observation o = cols_.row(i);
+      write_rows_csv(out, &o, 1);
     }
+    return;
   }
+  // Unfinalized store (tests, partial dumps): order like the finalized
+  // dump's grouping — sites ascending, insertion order within a site.
+  std::vector<Observation> rows;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& b : staged_batches_) rows.insert(rows.end(), b.begin(), b.end());
+    rows.insert(rows.end(), staging_.begin(), staging_.end());
+  }
+  std::stable_sort(rows.begin(), rows.end(),
+                   [](const Observation& a, const Observation& b) {
+                     return a.site < b.site;
+                   });
+  write_rows_csv(out, rows.data(), rows.size());
+}
+
+std::string ResultsDb::to_csv() const {
+  std::ostringstream out;
+  write_csv(out);
   return out.str();
 }
 

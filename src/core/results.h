@@ -1,7 +1,11 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
+#include <initializer_list>
 #include <mutex>
+#include <ostream>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -40,10 +44,24 @@ inline constexpr PathId kNoPath = 0xffffffffu;
 
 /// Deduplicating store of AS paths. Measurement records reference paths
 /// by id so a campaign's millions of observations don't copy vectors.
+///
+/// The intern index hashes and compares the ASN *span* directly — no
+/// serialized string key — so the common already-interned lookup does
+/// zero allocations. Thread-safe behind one mutex: in the sharded sink
+/// every worker owns a private registry (the mutex is uncontended) and
+/// ids are canonicalized into the results database's registry at merge
+/// time; ids are therefore stable within one registry but not an
+/// observable across runs (path *content* is).
 class PathRegistry {
  public:
   /// Intern a path (thread-safe); returns a stable id.
-  PathId intern(const std::vector<topo::Asn>& path);
+  PathId intern(std::span<const topo::Asn> path);
+  PathId intern(const std::vector<topo::Asn>& path) {
+    return intern(std::span<const topo::Asn>(path.data(), path.size()));
+  }
+  PathId intern(std::initializer_list<topo::Asn> path) {
+    return intern(std::span<const topo::Asn>(path.begin(), path.size()));
+  }
 
   [[nodiscard]] const std::vector<topo::Asn>& path(PathId id) const;
   [[nodiscard]] std::size_t size() const;
@@ -52,11 +70,22 @@ class PathRegistry {
   [[nodiscard]] std::string to_string(PathId id) const;
 
  private:
-  mutable std::mutex mu_;
-  std::vector<std::vector<topo::Asn>> paths_;
-  std::unordered_map<std::string, PathId> index_;  // serialized-path -> id
+  /// View into an interned path's storage (deque elements never move, so
+  /// the pointers stay valid as the registry grows).
+  struct SpanKey {
+    const topo::Asn* data;
+    std::uint32_t len;
+  };
+  struct SpanHash {
+    std::size_t operator()(const SpanKey& k) const noexcept;
+  };
+  struct SpanEq {
+    bool operator()(const SpanKey& a, const SpanKey& b) const noexcept;
+  };
 
-  static std::string key_of(const std::vector<topo::Asn>& path);
+  mutable std::mutex mu_;
+  std::deque<std::vector<topo::Asn>> paths_;
+  std::unordered_map<SpanKey, PathId, SpanHash, SpanEq> index_;
 };
 
 /// One monitoring observation of one site in one round from one vantage
@@ -88,8 +117,100 @@ struct RoundCounters {
   std::uint64_t download_failed = 0;
 };
 
+inline RoundCounters& operator+=(RoundCounters& a, const RoundCounters& b) {
+  a.listed += b.listed;
+  a.v4_only += b.v4_only;
+  a.v6_only += b.v6_only;
+  a.dual += b.dual;
+  a.dns_failed += b.dns_failed;
+  a.measured += b.measured;
+  a.different_content += b.different_content;
+  a.download_failed += b.download_failed;
+  return a;
+}
+
+/// Bucket one monitoring status into the round's counters — the single
+/// definition of the status→counter mapping, shared by the mutex store
+/// and every sink shard.
+void apply_status(RoundCounters& c, MonitorStatus status);
+
+/// Columnar (struct-of-arrays) observation storage. Analysis passes scan
+/// one or two fields of millions of rows — laid out per column those
+/// scans touch only the bytes they read.
+struct ObservationColumns {
+  std::vector<std::uint32_t> site;
+  std::vector<std::uint32_t> round;
+  std::vector<MonitorStatus> status;
+  std::vector<float> v4_speed_kBps;
+  std::vector<float> v6_speed_kBps;
+  std::vector<std::uint16_t> v4_samples;
+  std::vector<std::uint16_t> v6_samples;
+  std::vector<PathId> v4_path;
+  std::vector<PathId> v6_path;
+  std::vector<topo::Asn> v4_origin;
+  std::vector<topo::Asn> v6_origin;
+
+  [[nodiscard]] std::size_t size() const { return site.size(); }
+  void reserve(std::size_t n);
+  void push_back(const Observation& o);
+  /// Gather row i back into a struct (cheap: 11 indexed loads).
+  [[nodiscard]] Observation row(std::size_t i) const;
+};
+
+/// A read-only window onto one site's observations inside the columnar
+/// store: a contiguous [offset, offset+size) slice of every column,
+/// sorted by round. Cheap to copy (pointer + two indices).
+class SiteSeries {
+ public:
+  SiteSeries() = default;
+  SiteSeries(const ObservationColumns* cols, std::size_t offset, std::size_t count)
+      : cols_(cols), off_(offset), n_(count) {}
+
+  [[nodiscard]] std::size_t size() const { return n_; }
+  [[nodiscard]] bool empty() const { return n_ == 0; }
+  [[nodiscard]] Observation operator[](std::size_t i) const {
+    return cols_->row(off_ + i);
+  }
+
+  [[nodiscard]] std::span<const std::uint32_t> rounds() const {
+    return {cols_->round.data() + off_, n_};
+  }
+  [[nodiscard]] std::span<const MonitorStatus> statuses() const {
+    return {cols_->status.data() + off_, n_};
+  }
+  [[nodiscard]] std::span<const float> v4_speeds() const {
+    return {cols_->v4_speed_kBps.data() + off_, n_};
+  }
+  [[nodiscard]] std::span<const float> v6_speeds() const {
+    return {cols_->v6_speed_kBps.data() + off_, n_};
+  }
+  [[nodiscard]] std::span<const PathId> v4_paths() const {
+    return {cols_->v4_path.data() + off_, n_};
+  }
+  [[nodiscard]] std::span<const PathId> v6_paths() const {
+    return {cols_->v6_path.data() + off_, n_};
+  }
+  [[nodiscard]] std::span<const topo::Asn> v4_origins() const {
+    return {cols_->v4_origin.data() + off_, n_};
+  }
+  [[nodiscard]] std::span<const topo::Asn> v6_origins() const {
+    return {cols_->v6_origin.data() + off_, n_};
+  }
+
+ private:
+  const ObservationColumns* cols_ = nullptr;
+  std::size_t off_ = 0;
+  std::size_t n_ = 0;
+};
+
 /// All results collected by one vantage point over a campaign. Mirrors
 /// the paper's per-vantage-point MySQL database.
+///
+/// Two-stage layout (row-ingest, columnar-read): `add`/`merge_rows`
+/// append to a row-order staging buffer; `finalize()` groups staged rows
+/// by site, sorts each site's run by round, and rebuilds the immutable
+/// struct-of-arrays store plus a dense site index. All per-site read
+/// accessors require a finalized database.
 class ResultsDb {
  public:
   /// Record a full observation (dual-stack sites). Thread-safe.
@@ -99,32 +220,102 @@ class ResultsDb {
   void count(std::uint32_t round, MonitorStatus status);
   void count_listed(std::uint32_t round, std::uint64_t n);
 
+  /// Bulk ingest from a sink merge: one lock for the whole batch. The
+  /// batch's path ids must already refer to this database's registry.
+  void merge_rows(std::span<const Observation> batch);
+  /// Move-ingest a whole batch: O(1) — the vector is spliced into the
+  /// staging list, no row is copied. Relative order of add() rows and
+  /// merged batches is preserved.
+  void merge_rows(std::vector<Observation>&& batch);
+  /// Fold per-round counter deltas in (indexed by round).
+  void merge_counters(const std::vector<RoundCounters>& deltas);
+  /// Fold a single round's counter delta in (spool replay path).
+  void merge_counters(std::uint32_t round, const RoundCounters& delta);
+
   [[nodiscard]] PathRegistry& paths() { return paths_; }
   [[nodiscard]] const PathRegistry& paths() const { return paths_; }
 
-  /// Per-site observation series, ordered by round.
-  [[nodiscard]] const std::vector<Observation>* series(std::uint32_t site) const;
-  [[nodiscard]] const std::unordered_map<std::uint32_t, std::vector<Observation>>&
-  all_series() const {
-    return series_;
+  /// Number of sites with at least one observation. Requires finalize().
+  [[nodiscard]] std::size_t num_sites() const { return site_ids_.size(); }
+  /// Ascending ids of all sites with observations. Requires finalize().
+  [[nodiscard]] const std::vector<std::uint32_t>& site_ids() const {
+    return site_ids_;
   }
+  /// Per-site observation series, ordered by round; empty when the site
+  /// has no observations. Requires finalize().
+  [[nodiscard]] SiteSeries series(std::uint32_t site) const;
 
   [[nodiscard]] const RoundCounters& round_counters(std::uint32_t round) const;
   [[nodiscard]] std::size_t rounds() const { return rounds_.size(); }
 
-  /// Sort each site's series by round (call once after ingest).
+  /// Group staged rows by site, sort each site's series by round, and
+  /// (re)build the columnar store + dense site index. Idempotent; call
+  /// once after ingest, before analysis.
   void finalize();
+  [[nodiscard]] bool finalized() const { return finalized_; }
 
-  /// CSV dump of all observations (sorted by site, round).
+  /// Stream the observation dump (sorted by site, round) as CSV — no
+  /// materialized copy of the rows.
+  void write_csv(std::ostream& out) const;
+  /// Convenience wrapper over write_csv for small stores and tests.
   [[nodiscard]] std::string to_csv() const;
 
  private:
   mutable std::mutex mu_;
   PathRegistry paths_;
-  std::unordered_map<std::uint32_t, std::vector<Observation>> series_;
+  /// Row-order ingest staging; drained into `cols_` by finalize().
+  /// Whole-batch merges land in `staged_batches_` (spliced, not
+  /// copied); `seal_staging()` keeps the two in global ingest order.
+  std::vector<Observation> staging_;
+  std::vector<std::vector<Observation>> staged_batches_;
+  void seal_staging();  ///< Move staging_ into staged_batches_ (mu_ held).
+  /// Finalized site-major columnar store.
+  ObservationColumns cols_;
+  /// Dense index: site id -> slice of `cols_` ({0,0} = absent).
+  struct SiteRef {
+    std::uint32_t offset = 0;
+    std::uint32_t count = 0;
+  };
+  std::vector<SiteRef> site_index_;
+  std::vector<std::uint32_t> site_ids_;  ///< Sorted sites present.
   std::vector<RoundCounters> rounds_;
+  bool finalized_ = false;
 
   RoundCounters& round_slot(std::uint32_t round);
+  void write_rows_csv(std::ostream& out, const Observation* rows,
+                      std::size_t n) const;
+};
+
+/// Read-only abstraction the analysis layer consumes: per-site series,
+/// the path registry, and round counters — without coupling to how the
+/// observations were ingested. A view over an in-memory campaign store
+/// and a view over a replayed spool are indistinguishable to analysis.
+///
+/// Implicitly convertible from a finalized ResultsDb (a view is exactly
+/// a non-owning handle onto one).
+class ObservationView {
+ public:
+  ObservationView() = default;
+  // NOLINTNEXTLINE(google-explicit-constructor): a ResultsDb *is* a view source.
+  ObservationView(const ResultsDb& db) : db_(&db) {}
+
+  [[nodiscard]] bool valid() const { return db_ != nullptr; }
+
+  [[nodiscard]] std::size_t num_sites() const { return db_->num_sites(); }
+  [[nodiscard]] const std::vector<std::uint32_t>& site_ids() const {
+    return db_->site_ids();
+  }
+  [[nodiscard]] SiteSeries series(std::uint32_t site) const {
+    return db_->series(site);
+  }
+  [[nodiscard]] const PathRegistry& paths() const { return db_->paths(); }
+  [[nodiscard]] const RoundCounters& round_counters(std::uint32_t round) const {
+    return db_->round_counters(round);
+  }
+  [[nodiscard]] std::size_t rounds() const { return db_->rounds(); }
+
+ private:
+  const ResultsDb* db_ = nullptr;
 };
 
 }  // namespace v6mon::core

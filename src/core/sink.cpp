@@ -1,0 +1,87 @@
+#include "core/sink.h"
+
+#include <atomic>
+#include <cstddef>
+
+#include "util/contracts.h"
+
+namespace v6mon::core {
+
+namespace {
+
+/// Per-thread lane lookup, keyed by a process-unique sink id (never by
+/// pointer: a destroyed sink's address can be reused by a later one,
+/// and a stale pointer hit would hand a worker someone else's shard).
+/// A fixed-size ring bounds the cache; eviction only costs a re-lookup
+/// (and at worst an extra shard), never correctness.
+struct LaneSlot {
+  std::uint64_t sink_id = 0;  ///< 0 = empty (ids start at 1).
+  ObservationSink::Lane* lane = nullptr;
+};
+constexpr std::size_t kLaneCacheSize = 16;
+thread_local LaneSlot tl_lanes[kLaneCacheSize];
+thread_local std::size_t tl_lane_evict = 0;
+
+std::uint64_t next_sink_id() {
+  static std::atomic<std::uint64_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+ShardedSinkBase::ShardedSinkBase() : id_(next_sink_id()) {}
+
+ShardedSinkBase::~ShardedSinkBase() = default;
+
+ShardedSinkBase::Shard& ShardedSinkBase::shard_for_this_thread() {
+  std::lock_guard<std::mutex> lock(shards_mu_);
+  return shards_.emplace_back();
+}
+
+ObservationSink::Lane& ShardedSinkBase::lane() {
+  for (LaneSlot& slot : tl_lanes) {
+    if (slot.sink_id == id_) return *slot.lane;
+  }
+  Shard& shard = shard_for_this_thread();
+  LaneSlot& victim = tl_lanes[tl_lane_evict];
+  tl_lane_evict = (tl_lane_evict + 1) % kLaneCacheSize;
+  victim = {id_, &shard};
+  return shard;
+}
+
+std::size_t ShardedSinkBase::shard_count() const {
+  std::lock_guard<std::mutex> lock(shards_mu_);
+  return shards_.size();
+}
+
+void ShardedSinkBase::flush() {
+  // Coordinator-only by contract; the lock still guards against a late
+  // worker's lane() cache miss racing shard creation.
+  std::lock_guard<std::mutex> lock(shards_mu_);
+  for (Shard& s : shards_) {
+    // Canonicalize path ids minted since the last flush. remap_ is an
+    // append-only prefix map, so each shard-local id crosses the
+    // canonicalization boundary exactly once over the campaign.
+    const std::size_t total = s.reg_.size();
+    for (std::size_t local = s.remap_.size(); local < total; ++local) {
+      s.remap_.push_back(canonicalize(s.reg_.path(static_cast<PathId>(local))));
+    }
+    for (Observation& o : s.staged_) {
+      if (o.v4_path != kNoPath) {
+        V6MON_ASSERT(o.v4_path < s.remap_.size(), "unregistered v4 path id");
+        o.v4_path = s.remap_[o.v4_path];
+      }
+      if (o.v6_path != kNoPath) {
+        V6MON_ASSERT(o.v6_path < s.remap_.size(), "unregistered v6 path id");
+        o.v6_path = s.remap_[o.v6_path];
+      }
+    }
+    merge_batch(std::move(s.staged_), s.counters_);
+    s.staged_.clear();  // normalize the moved-from buffer for the next epoch
+    // Zero the deltas but keep the vector: the next round reuses the
+    // allocation and merge treats all-zero rounds as no-ops.
+    for (RoundCounters& c : s.counters_) c = RoundCounters{};
+  }
+}
+
+}  // namespace v6mon::core

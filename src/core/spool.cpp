@@ -1,0 +1,255 @@
+#include "core/spool.h"
+
+#include <cstring>
+#include <vector>
+
+#include "util/contracts.h"
+#include "util/error.h"
+
+namespace v6mon::core {
+
+namespace {
+
+constexpr char kMagic[8] = {'V', '6', 'S', 'P', 'O', 'O', 'L', '1'};
+constexpr std::uint8_t kTagPathDef = 0x01;
+constexpr std::uint8_t kTagObs = 0x02;
+constexpr std::uint8_t kTagCounters = 0x03;
+constexpr std::uint8_t kTagEnd = 0x04;
+
+std::uint32_t float_bits(float f) {
+  std::uint32_t bits = 0;
+  std::memcpy(&bits, &f, sizeof(bits));
+  return bits;
+}
+
+float bits_float(std::uint32_t bits) {
+  float f = 0.0f;
+  std::memcpy(&f, &bits, sizeof(f));
+  return f;
+}
+
+/// Little-endian reader over an istream with hard failure on short reads.
+class Reader {
+ public:
+  explicit Reader(std::istream& in) : in_(&in) {}
+
+  bool read_tag(std::uint8_t& tag) {
+    const int c = in_->get();
+    if (c == std::char_traits<char>::eof()) return false;
+    tag = static_cast<std::uint8_t>(c);
+    return true;
+  }
+  std::uint8_t u8() { return bytes<std::uint8_t, 1>(); }
+  std::uint16_t u16() { return bytes<std::uint16_t, 2>(); }
+  std::uint32_t u32() { return bytes<std::uint32_t, 4>(); }
+  std::uint64_t u64() { return bytes<std::uint64_t, 8>(); }
+
+ private:
+  template <typename T, std::size_t N>
+  T bytes() {
+    unsigned char buf[N];
+    in_->read(reinterpret_cast<char*>(buf), N);
+    if (in_->gcount() != static_cast<std::streamsize>(N)) {
+      throw Error("spool: truncated record");
+    }
+    T v = 0;
+    for (std::size_t i = 0; i < N; ++i) {
+      v = static_cast<T>(v | (static_cast<T>(buf[i]) << (8 * i)));
+    }
+    return v;
+  }
+
+  std::istream* in_;
+};
+
+}  // namespace
+
+// --- SpoolWriter ------------------------------------------------------------
+
+SpoolWriter::SpoolWriter(const std::string& path)
+    : out_(path, std::ios::binary | std::ios::trunc) {
+  if (!out_) throw Error("spool: cannot open '" + path + "' for writing");
+  out_.write(kMagic, sizeof(kMagic));
+}
+
+SpoolWriter::~SpoolWriter() { close(); }
+
+void SpoolWriter::u8(std::uint8_t v) {
+  out_.put(static_cast<char>(v));
+}
+
+void SpoolWriter::u16(std::uint16_t v) {
+  char buf[2] = {static_cast<char>(v & 0xff), static_cast<char>((v >> 8) & 0xff)};
+  out_.write(buf, sizeof(buf));
+}
+
+void SpoolWriter::u32(std::uint32_t v) {
+  char buf[4];
+  for (std::size_t i = 0; i < 4; ++i) buf[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  out_.write(buf, sizeof(buf));
+}
+
+void SpoolWriter::u64(std::uint64_t v) {
+  char buf[8];
+  for (std::size_t i = 0; i < 8; ++i) buf[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  out_.write(buf, sizeof(buf));
+}
+
+void SpoolWriter::path_def(std::span<const topo::Asn> path) {
+  V6MON_REQUIRE(!closed_, "spool: write after close");
+  u8(kTagPathDef);
+  u32(static_cast<std::uint32_t>(path.size()));
+  for (topo::Asn hop : path) u32(hop);
+}
+
+void SpoolWriter::observation(const Observation& obs) {
+  V6MON_REQUIRE(!closed_, "spool: write after close");
+  u8(kTagObs);
+  u32(obs.site);
+  u32(obs.round);
+  u8(static_cast<std::uint8_t>(obs.status));
+  u32(float_bits(obs.v4_speed_kBps));
+  u32(float_bits(obs.v6_speed_kBps));
+  u16(obs.v4_samples);
+  u16(obs.v6_samples);
+  u32(obs.v4_path);
+  u32(obs.v6_path);
+  u32(obs.v4_origin);
+  u32(obs.v6_origin);
+  ++observations_;
+}
+
+void SpoolWriter::counters(std::uint32_t round, const RoundCounters& delta) {
+  V6MON_REQUIRE(!closed_, "spool: write after close");
+  u8(kTagCounters);
+  u32(round);
+  u64(delta.listed);
+  u64(delta.v4_only);
+  u64(delta.v6_only);
+  u64(delta.dual);
+  u64(delta.dns_failed);
+  u64(delta.measured);
+  u64(delta.different_content);
+  u64(delta.download_failed);
+}
+
+void SpoolWriter::close() {
+  if (closed_) return;
+  u8(kTagEnd);
+  u64(observations_);
+  out_.flush();
+  closed_ = true;
+  out_.close();
+}
+
+// --- SpoolSink --------------------------------------------------------------
+
+PathId SpoolSink::canonicalize(std::span<const topo::Asn> path) {
+  const std::size_t before = reg_.size();
+  const PathId id = reg_.intern(path);
+  if (reg_.size() > before) writer_.path_def(path);  // first sighting
+  return id;
+}
+
+void SpoolSink::merge_batch(std::vector<Observation>&& rows,
+                            const std::vector<RoundCounters>& counters) {
+  for (const Observation& o : rows) writer_.observation(o);
+  for (std::uint32_t r = 0; r < counters.size(); ++r) {
+    const RoundCounters& c = counters[r];
+    if (c.listed == 0 && c.v4_only == 0 && c.v6_only == 0 && c.dual == 0 &&
+        c.dns_failed == 0 && c.measured == 0 && c.different_content == 0 &&
+        c.download_failed == 0) {
+      continue;  // all-zero delta: skip the record, replay adds nothing
+    }
+    writer_.counters(r, c);
+  }
+}
+
+// --- Replay -----------------------------------------------------------------
+
+void replay_spool(std::istream& in, ResultsDb& db) {
+  char magic[sizeof(kMagic)];
+  in.read(magic, sizeof(magic));
+  if (in.gcount() != static_cast<std::streamsize>(sizeof(magic)) ||
+      std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    throw Error("spool: bad magic (not a v6mon spool, or truncated header)");
+  }
+
+  Reader r(in);
+  std::vector<PathId> spool_to_db;  ///< Spool id -> database registry id.
+  std::vector<topo::Asn> path_buf;
+  std::uint64_t observations = 0;
+  bool ended = false;
+
+  std::uint8_t tag = 0;
+  while (r.read_tag(tag)) {
+    if (ended) throw Error("spool: data after end record");
+    switch (tag) {
+      case kTagPathDef: {
+        const std::uint32_t hops = r.u32();
+        path_buf.clear();
+        for (std::uint32_t i = 0; i < hops; ++i) path_buf.push_back(r.u32());
+        spool_to_db.push_back(db.paths().intern(path_buf));
+        break;
+      }
+      case kTagObs: {
+        Observation o;
+        o.site = r.u32();
+        o.round = r.u32();
+        o.status = static_cast<MonitorStatus>(r.u8());
+        o.v4_speed_kBps = bits_float(r.u32());
+        o.v6_speed_kBps = bits_float(r.u32());
+        o.v4_samples = r.u16();
+        o.v6_samples = r.u16();
+        o.v4_path = r.u32();
+        o.v6_path = r.u32();
+        o.v4_origin = r.u32();
+        o.v6_origin = r.u32();
+        if (o.v4_path != kNoPath) {
+          if (o.v4_path >= spool_to_db.size()) throw Error("spool: undefined v4 path id");
+          o.v4_path = spool_to_db[o.v4_path];
+        }
+        if (o.v6_path != kNoPath) {
+          if (o.v6_path >= spool_to_db.size()) throw Error("spool: undefined v6 path id");
+          o.v6_path = spool_to_db[o.v6_path];
+        }
+        db.add(o);
+        ++observations;
+        break;
+      }
+      case kTagCounters: {
+        const std::uint32_t round = r.u32();
+        RoundCounters delta;
+        delta.listed = r.u64();
+        delta.v4_only = r.u64();
+        delta.v6_only = r.u64();
+        delta.dual = r.u64();
+        delta.dns_failed = r.u64();
+        delta.measured = r.u64();
+        delta.different_content = r.u64();
+        delta.download_failed = r.u64();
+        db.merge_counters(round, delta);
+        break;
+      }
+      case kTagEnd: {
+        const std::uint64_t expected = r.u64();
+        if (expected != observations) {
+          throw Error("spool: observation count mismatch (truncated or corrupt)");
+        }
+        ended = true;
+        break;
+      }
+      default:
+        throw Error("spool: unknown record tag");
+    }
+  }
+  if (!ended) throw Error("spool: missing end record (writer not closed?)");
+}
+
+void replay_spool_file(const std::string& path, ResultsDb& db) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw Error("spool: cannot open '" + path + "' for reading");
+  replay_spool(in, db);
+}
+
+}  // namespace v6mon::core

@@ -1,0 +1,107 @@
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <istream>
+#include <span>
+#include <string>
+
+#include "core/results.h"
+#include "core/sink.h"
+
+namespace v6mon::core {
+
+/// Binary observation spool — the out-of-core campaign store. Instead of
+/// holding millions of rows in memory, a campaign streams them to disk
+/// and the analysis replays the file into a ResultsDb afterwards (the
+/// replayed view is indistinguishable from an in-memory run).
+///
+/// Format (version 1, little-endian, fixed-width):
+///   8-byte magic "V6SPOOL1", then tagged records:
+///     0x01 PathDef   u32 hop count, then hop x u32 ASNs. Defines the
+///                    next sequential spool path id (0, 1, 2, ...).
+///     0x02 Obs       u32 site, u32 round, u8 status, u32 v4 speed bits,
+///                    u32 v6 speed bits (IEEE-754 binary32), u16/u16
+///                    sample counts, u32/u32 spool path ids (0xffffffff
+///                    = none), u32/u32 origin ASNs.
+///     0x03 Counters  u32 round, 8 x u64 deltas (listed, v4_only,
+///                    v6_only, dual, dns_failed, measured,
+///                    different_content, download_failed).
+///     0x04 End       u64 observation count (truncation check; nothing
+///                    may follow).
+/// PathDef records always precede the first Obs that references them.
+class SpoolWriter {
+ public:
+  /// Creates/truncates `path` and writes the header. Throws
+  /// v6mon::Error when the file cannot be opened.
+  explicit SpoolWriter(const std::string& path);
+  ~SpoolWriter();
+
+  SpoolWriter(const SpoolWriter&) = delete;
+  SpoolWriter& operator=(const SpoolWriter&) = delete;
+
+  /// Define the next sequential spool path id.
+  void path_def(std::span<const topo::Asn> path);
+  /// Append one observation (path ids are spool ids already defined).
+  void observation(const Observation& obs);
+  /// Append a per-round counter delta (all-zero deltas may be skipped).
+  void counters(std::uint32_t round, const RoundCounters& delta);
+
+  /// Write the end record and close. Idempotent; the destructor calls it.
+  void close();
+  /// False after any stream failure (disk full, closed device).
+  [[nodiscard]] bool ok() const { return out_.good() || closed_; }
+
+ private:
+  void u8(std::uint8_t v);
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+
+  std::ofstream out_;
+  std::uint64_t observations_ = 0;
+  bool closed_ = false;
+};
+
+/// Spool-backed sink: worker lanes are the usual lock-free shards; at
+/// each round boundary the flush canonicalizes paths into a
+/// spool-global registry (emitting PathDef records for first-sighted
+/// paths) and streams the batch to disk. Only shard buffers and the
+/// path registry stay in memory — observation storage is out-of-core.
+class SpoolSink final : public ShardedSinkBase {
+ public:
+  explicit SpoolSink(const std::string& path) : writer_(path) {}
+
+  void count_listed(std::uint32_t round, std::uint64_t n) override {
+    RoundCounters delta;
+    delta.listed = n;
+    writer_.counters(round, delta);
+  }
+  void finish() override {
+    flush();
+    writer_.close();
+  }
+
+  [[nodiscard]] bool ok() const { return writer_.ok(); }
+
+ protected:
+  PathId canonicalize(std::span<const topo::Asn> path) override;
+  void merge_batch(std::vector<Observation>&& rows,
+                   const std::vector<RoundCounters>& counters) override;
+
+ private:
+  PathRegistry reg_;  ///< Spool-global ids; dedupes across shards.
+  SpoolWriter writer_;
+};
+
+/// Replay a spool stream into `db` (observations, counters and the full
+/// path set; spool ids are re-interned into the database registry). The
+/// caller finalizes the database afterwards. Throws v6mon::Error on a
+/// malformed or truncated spool.
+void replay_spool(std::istream& in, ResultsDb& db);
+
+/// Convenience: open `path` and replay it. Throws v6mon::Error when the
+/// file cannot be opened.
+void replay_spool_file(const std::string& path, ResultsDb& db);
+
+}  // namespace v6mon::core

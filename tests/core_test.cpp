@@ -91,12 +91,16 @@ TEST(ResultsDb, SeriesSortedByFinalize) {
   db.add(a);
   db.add(b);
   db.finalize();
-  const auto* series = db.series(7);
-  ASSERT_NE(series, nullptr);
-  ASSERT_EQ(series->size(), 2u);
-  EXPECT_EQ((*series)[0].round, 2u);
-  EXPECT_EQ((*series)[1].round, 5u);
-  EXPECT_EQ(db.series(8), nullptr);
+  const SiteSeries series = db.series(7);
+  ASSERT_EQ(series.size(), 2u);
+  EXPECT_EQ(series[0].round, 2u);
+  EXPECT_EQ(series[1].round, 5u);
+  EXPECT_EQ(series.rounds()[0], 2u);  // span accessor sees the same order
+  EXPECT_EQ(series.statuses()[1], MonitorStatus::kMeasured);
+  EXPECT_TRUE(db.series(8).empty());
+  EXPECT_EQ(db.num_sites(), 1u);
+  ASSERT_EQ(db.site_ids().size(), 1u);
+  EXPECT_EQ(db.site_ids()[0], 7u);
 }
 
 TEST(ResultsDb, CsvContainsObservations) {
@@ -297,8 +301,8 @@ TEST(Campaign, EndToEndSmallWorld) {
   EXPECT_EQ(campaign.results(1).round_counters(0).listed, 0u);
   EXPECT_GT(campaign.results(1).round_counters(2).listed, 0u);
   // W6D run produced data for both VPs.
-  EXPECT_FALSE(campaign.w6d_results(0).all_series().empty());
-  EXPECT_FALSE(campaign.w6d_results(1).all_series().empty());
+  EXPECT_GT(campaign.w6d_results(0).num_sites(), 0u);
+  EXPECT_GT(campaign.w6d_results(1).num_sites(), 0u);
 }
 
 TEST(Campaign, FastPathMatchesFullPipeline) {
@@ -332,17 +336,17 @@ TEST(Campaign, DeterministicAcrossThreadCounts) {
   c8.run_round(1, 5);
   c1.finalize();
   c8.finalize();
-  const auto& s1 = c1.results(1).all_series();
-  const auto& s8 = c8.results(1).all_series();
-  ASSERT_EQ(s1.size(), s8.size());
-  for (const auto& [site, obs1] : s1) {
-    const auto* obs8 = c8.results(1).series(site);
-    ASSERT_NE(obs8, nullptr);
-    ASSERT_EQ(obs1.size(), obs8->size());
+  const ResultsDb& d1 = c1.results(1);
+  const ResultsDb& d8 = c8.results(1);
+  ASSERT_EQ(d1.site_ids(), d8.site_ids());
+  for (const std::uint32_t site : d1.site_ids()) {
+    const SiteSeries obs1 = d1.series(site);
+    const SiteSeries obs8 = d8.series(site);
+    ASSERT_EQ(obs1.size(), obs8.size());
     for (std::size_t i = 0; i < obs1.size(); ++i) {
-      EXPECT_EQ(obs1[i].status, (*obs8)[i].status);
-      EXPECT_EQ(obs1[i].v4_speed_kBps, (*obs8)[i].v4_speed_kBps);
-      EXPECT_EQ(obs1[i].v6_speed_kBps, (*obs8)[i].v6_speed_kBps);
+      EXPECT_EQ(obs1[i].status, obs8[i].status);
+      EXPECT_EQ(obs1[i].v4_speed_kBps, obs8[i].v4_speed_kBps);
+      EXPECT_EQ(obs1[i].v6_speed_kBps, obs8[i].v6_speed_kBps);
     }
   }
 }

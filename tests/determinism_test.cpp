@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
 #include <memory>
 #include <string>
 
@@ -97,11 +98,11 @@ void expect_identical_observables(const Campaign& serial, const Campaign& parall
 /// Render one analysis table per campaign, for an end-to-end byte compare.
 std::string table4_csv(const Campaign& campaign) {
   const World& world = campaign.world();
-  std::vector<const ResultsDb*> dbs;
+  std::vector<ObservationView> views;
   for (std::size_t vp = 0; vp < world.vantage_points.size(); ++vp) {
-    dbs.push_back(&campaign.results(vp));
+    views.emplace_back(campaign.results(vp));
   }
-  const auto reports = analysis::analyze_world(world, dbs);
+  const auto reports = analysis::analyze_world(world, views);
   return analysis::table4_render(analysis::table4_classification(reports)).to_csv();
 }
 
@@ -136,6 +137,67 @@ TEST(Determinism, ThreadCountInvisibleUnderFailureInjection) {
 
   expect_identical_observables(*serial, *parallel);
 }
+
+// --- Sink-backend matrix ----------------------------------------------------
+//
+// The ingest backend (single-mutex store, per-worker sharded store, or
+// binary spool with replay) must be as invisible as the thread count:
+// every (backend, threads) cell of the matrix reproduces the serial
+// mutex reference byte for byte — observation CSVs, per-round counters,
+// and the analysis tables built on top.
+
+std::unique_ptr<Campaign> run_with(SinkBackend sink, unsigned threads,
+                                   std::uint64_t seed, const std::string& spool_dir,
+                                   double dns_timeout_prob = 0.0,
+                                   double dl_failure_prob = 0.0) {
+  CampaignConfig cfg;
+  cfg.seed = seed;
+  cfg.threads = threads;
+  cfg.sink = sink;
+  cfg.spool_dir = spool_dir;
+  if (sink == SinkBackend::kSpool) std::filesystem::create_directories(spool_dir);
+  cfg.monitor.dns.timeout_prob = dns_timeout_prob;
+  cfg.monitor.download.failure_prob = dl_failure_prob;
+  return run_campaign(tiny_world(), cfg);
+}
+
+class SinkBackendMatrix : public ::testing::TestWithParam<SinkBackend> {};
+
+TEST_P(SinkBackendMatrix, ByteIdenticalToSerialMutexReference) {
+  const std::string dir = ::testing::TempDir();
+  const auto reference =
+      run_with(SinkBackend::kMutex, 1, 2011, dir + "/ref");
+  const auto serial = run_with(GetParam(), 1, 2011, dir + "/t1");
+  const auto parallel = run_with(GetParam(), 8, 2011, dir + "/t8");
+
+  expect_identical_observables(*reference, *serial);
+  expect_identical_observables(*reference, *parallel);
+  EXPECT_EQ(table4_csv(*reference), table4_csv(*serial));
+  EXPECT_EQ(table4_csv(*reference), table4_csv(*parallel));
+}
+
+TEST_P(SinkBackendMatrix, ByteIdenticalUnderFailureInjection) {
+  const std::string dir = ::testing::TempDir();
+  const auto reference =
+      run_with(SinkBackend::kMutex, 1, 404, dir + "/fref", 0.2, 0.05);
+  const auto parallel = run_with(GetParam(), 8, 404, dir + "/ft8", 0.2, 0.05);
+
+  expect_identical_observables(*reference, *parallel);
+  EXPECT_EQ(table4_csv(*reference), table4_csv(*parallel));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, SinkBackendMatrix,
+                         ::testing::Values(SinkBackend::kMutex,
+                                           SinkBackend::kSharded,
+                                           SinkBackend::kSpool),
+                         [](const auto& cell) {
+                           switch (cell.param) {
+                             case SinkBackend::kMutex: return "Mutex";
+                             case SinkBackend::kSharded: return "Sharded";
+                             case SinkBackend::kSpool: return "Spool";
+                           }
+                           return "Unknown";
+                         });
 
 // The RIBs a campaign reads must themselves be schedule-free: building the
 // same world with a serial and a wide pool must give identical tables.

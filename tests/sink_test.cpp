@@ -1,0 +1,196 @@
+// ObservationSink backends: the mutex reference, the sharded in-memory
+// store, and the binary spool. The contract under test is simple to
+// state and strict: whatever backend carried the observations, the
+// finalized ResultsDb — rows, counters, path contents, CSV bytes — is
+// identical.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/results.h"
+#include "core/sink.h"
+#include "core/spool.h"
+#include "util/error.h"
+
+namespace v6mon::core {
+namespace {
+
+Observation sample_obs(std::uint32_t site, std::uint32_t round, PathId v4,
+                       PathId v6) {
+  Observation o;
+  o.site = site;
+  o.round = round;
+  o.status = MonitorStatus::kMeasured;
+  o.v4_speed_kBps = 120.5f + static_cast<float>(site);
+  o.v6_speed_kBps = 88.25f + static_cast<float>(round);
+  o.v4_samples = 5;
+  o.v6_samples = 4;
+  o.v4_path = v4;
+  o.v6_path = v6;
+  o.v4_origin = 7;
+  o.v6_origin = 9;
+  return o;
+}
+
+/// Drive any sink through one epoch with a handful of observations and
+/// counters, mimicking what a campaign round does.
+void drive(ObservationSink& sink) {
+  ObservationSink::Lane& lane = sink.lane();
+  const PathId a = lane.paths().intern({1, 2, 3});
+  const PathId b = lane.paths().intern({1, 2, 4});
+  const PathId local = lane.paths().intern({});
+  lane.record(sample_obs(10, 0, a, b));
+  lane.record(sample_obs(11, 0, b, local));
+  Observation pathless = sample_obs(12, 0, kNoPath, kNoPath);
+  pathless.status = MonitorStatus::kV6DownloadFailed;
+  lane.record(pathless);
+  lane.count(0, MonitorStatus::kMeasured);
+  lane.count(0, MonitorStatus::kMeasured);
+  lane.count(0, MonitorStatus::kV6DownloadFailed);
+  lane.count(0, MonitorStatus::kV4Only);
+  sink.count_listed(0, 40);
+  sink.flush();
+
+  // Second epoch: revisit one site, one new path, a new round's counters.
+  ObservationSink::Lane& lane2 = sink.lane();
+  const PathId c = lane2.paths().intern({9, 8});
+  lane2.record(sample_obs(10, 1, c, c));
+  lane2.count(1, MonitorStatus::kMeasured);
+  sink.count_listed(1, 41);
+  sink.finish();
+}
+
+void expect_same_finalized(const ResultsDb& a, const ResultsDb& b) {
+  EXPECT_EQ(a.to_csv(), b.to_csv());
+  EXPECT_EQ(a.num_sites(), b.num_sites());
+  EXPECT_EQ(a.site_ids(), b.site_ids());
+  EXPECT_EQ(a.paths().size(), b.paths().size());
+  ASSERT_EQ(a.rounds(), b.rounds());
+  for (std::uint32_t r = 0; r < a.rounds(); ++r) {
+    const RoundCounters& ca = a.round_counters(r);
+    const RoundCounters& cb = b.round_counters(r);
+    EXPECT_EQ(ca.listed, cb.listed) << "round " << r;
+    EXPECT_EQ(ca.v4_only, cb.v4_only) << "round " << r;
+    EXPECT_EQ(ca.dual, cb.dual) << "round " << r;
+    EXPECT_EQ(ca.measured, cb.measured) << "round " << r;
+    EXPECT_EQ(ca.download_failed, cb.download_failed) << "round " << r;
+  }
+}
+
+TEST(Sink, ShardedMatchesMutexReference) {
+  ResultsDb mdb, sdb;
+  MutexSink msink(mdb);
+  ShardedSink ssink(sdb);
+  drive(msink);
+  drive(ssink);
+  mdb.finalize();
+  sdb.finalize();
+  expect_same_finalized(mdb, sdb);
+  EXPECT_EQ(ssink.shard_count(), 1u);  // single-threaded drive: one shard
+}
+
+TEST(Sink, ShardedFlushCanonicalizesWholeRegistry) {
+  // Paths interned but never referenced by a recorded observation still
+  // reach the database registry — keeping paths().size() an invariant
+  // across backends (the mutex sink interns directly into the db).
+  ResultsDb db;
+  ShardedSink sink(db);
+  ObservationSink::Lane& lane = sink.lane();
+  lane.paths().intern({5, 6, 7});  // interned, never recorded
+  sink.finish();
+  EXPECT_EQ(db.paths().size(), 1u);
+}
+
+TEST(Sink, SpoolRoundTripMatchesMutexReference) {
+  const std::string path = ::testing::TempDir() + "/roundtrip.spool";
+  ResultsDb mdb, sdb;
+  MutexSink msink(mdb);
+  drive(msink);
+  {
+    SpoolSink spool(path);
+    drive(spool);
+    EXPECT_TRUE(spool.ok());
+  }
+  replay_spool_file(path, sdb);
+  mdb.finalize();
+  sdb.finalize();
+  expect_same_finalized(mdb, sdb);
+  std::remove(path.c_str());
+}
+
+TEST(Sink, SpoolWriterRejectsUnopenablePath) {
+  EXPECT_THROW(SpoolWriter("/nonexistent-dir-v6mon/x.spool"), v6mon::Error);
+  ResultsDb db;
+  EXPECT_THROW(replay_spool_file("/nonexistent-dir-v6mon/x.spool", db),
+               v6mon::Error);
+}
+
+// --- Malformed spool streams ----------------------------------------------
+
+std::string valid_spool_bytes() {
+  const std::string path = ::testing::TempDir() + "/valid.spool";
+  {
+    SpoolSink spool(path);
+    drive(spool);
+  }
+  std::ifstream in(path, std::ios::binary);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  std::remove(path.c_str());
+  return buf.str();
+}
+
+void expect_replay_throws(const std::string& bytes) {
+  std::istringstream in(bytes);
+  ResultsDb db;
+  EXPECT_THROW(replay_spool(in, db), v6mon::Error);
+}
+
+TEST(Sink, ReplayRejectsBadMagic) {
+  std::string bytes = valid_spool_bytes();
+  bytes[0] = 'X';
+  expect_replay_throws(bytes);
+}
+
+TEST(Sink, ReplayRejectsTruncation) {
+  const std::string bytes = valid_spool_bytes();
+  // Chop anywhere after the magic: mid-record, mid-header, or right
+  // before the end record — every cut must be detected.
+  for (const std::size_t keep :
+       {bytes.size() - 1, bytes.size() - 9, std::size_t{9}, std::size_t{20}}) {
+    ASSERT_LT(keep, bytes.size());
+    ASSERT_GT(keep, std::size_t{8});
+    expect_replay_throws(bytes.substr(0, keep));
+  }
+}
+
+TEST(Sink, ReplayRejectsTrailingGarbage) {
+  expect_replay_throws(valid_spool_bytes() + '\0');
+}
+
+TEST(Sink, ReplayRejectsUndefinedPathId) {
+  // Header + one observation whose v4 path id (0) was never defined.
+  std::string bytes = "V6SPOOL1";
+  bytes += '\x02';                         // Obs tag
+  bytes += std::string(8, '\0');           // site, round
+  bytes += '\x06';                         // status = kMeasured
+  bytes += std::string(8, '\0');           // speed bits
+  bytes += std::string(4, '\0');           // sample counts
+  bytes += std::string(4, '\0');           // v4 path id = 0 (undefined)
+  bytes += "\xff\xff\xff\xff";             // v6 path id = none
+  bytes += std::string(8, '\0');           // origins
+  expect_replay_throws(bytes);
+}
+
+TEST(Sink, ReplayRejectsMissingEndRecord) {
+  // A header-only stream never saw finish(): treat as truncated.
+  expect_replay_throws("V6SPOOL1");
+}
+
+}  // namespace
+}  // namespace v6mon::core

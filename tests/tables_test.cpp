@@ -25,15 +25,15 @@ struct Study {
     campaign->run();
     campaign->run_w6d();
     campaign->finalize();
-    std::vector<const core::ResultsDb*> dbs, w6d_dbs;
+    std::vector<core::ObservationView> views, w6d_views;
     for (std::size_t i = 0; i < world.vantage_points.size(); ++i) {
-      dbs.push_back(&campaign->results(i));
-      w6d_dbs.push_back(&campaign->w6d_results(i));
+      views.emplace_back(campaign->results(i));
+      w6d_views.emplace_back(campaign->w6d_results(i));
     }
-    reports = analyze_world(world, dbs);
+    reports = analyze_world(world, views);
     AssessmentParams w6d_params;
     w6d_params.min_rounds = 5;
-    w6d_reports = analyze_world(world, w6d_dbs, w6d_params);
+    w6d_reports = analyze_world(world, w6d_views, w6d_params);
   }
 };
 
