@@ -29,6 +29,7 @@
 #include "analysis/report.h"
 #include "bgp/rib.h"
 #include "core/campaign.h"
+#include "obs/metrics.h"
 #include "scenario/paper.h"
 #include "scenario/world_builder.h"
 
@@ -93,6 +94,28 @@ void BM_CampaignRound(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_CampaignRound)->Arg(1)->Arg(8)->Unit(benchmark::kMillisecond);
+
+/// The same round with the observability layer recording: CI asserts the
+/// metrics-on/8t mean stays within 3% of BM_CampaignRound/8 (the
+/// "near-zero cost" contract of DESIGN.md §11).
+void BM_CampaignRoundMetricsOn(benchmark::State& state) {
+  const core::World& world = shared_world();
+  core::CampaignConfig cfg = scenario::paper_campaign_config(bench_seed());
+  cfg.threads = static_cast<std::size_t>(state.range(0));
+  const std::uint32_t round = world.num_rounds / 2;
+  obs::metrics().set_enabled(true);
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto campaign = std::make_unique<core::Campaign>(world, cfg);
+    state.ResumeTiming();
+    for (std::size_t vp = 0; vp < world.vantage_points.size(); ++vp) {
+      campaign->run_round(vp, round);
+    }
+  }
+  obs::metrics().set_enabled(false);
+  obs::metrics().reset();
+}
+BENCHMARK(BM_CampaignRoundMetricsOn)->Arg(1)->Arg(8)->Unit(benchmark::kMillisecond);
 
 void BM_FullCampaign(benchmark::State& state) {
   const core::World& world = shared_world();

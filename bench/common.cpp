@@ -1,6 +1,10 @@
 #include "common.h"
 
 #include <cstdlib>
+#include <fstream>
+
+#include "obs/metrics.h"
+#include "util/error.h"
 
 namespace v6mon::bench {
 
@@ -74,11 +78,34 @@ void print_result(const std::string& title, const util::TextTable& table,
 }
 
 int run_bench_main(int argc, char** argv, void (*emit)()) {
+  const char* metrics_env = std::getenv("V6MON_BENCH_METRICS");
+  const bool with_metrics =
+      metrics_env != nullptr && std::strtoul(metrics_env, nullptr, 10) != 0;
+  // Enable before emit(): the Study singleton (world build + campaign)
+  // is constructed lazily on first use, and its stages should land in
+  // the export.
+  if (with_metrics) obs::metrics().set_enabled(true);
   emit();
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  if (with_metrics) {
+    auto& metrics = obs::metrics();
+    std::printf("================================================================\n");
+    std::printf("Campaign metrics (V6MON_BENCH_METRICS=1)\n");
+    std::printf("================================================================\n");
+    std::printf("%s", metrics.summary().c_str());
+    const std::string path = "bench/out/metrics.json";
+    std::ofstream out(path);
+    try {
+      if (!out) throw IoError("cannot open " + path);
+      metrics.write_json(out);
+      std::printf("[metrics written to %s]\n", path.c_str());
+    } catch (const IoError& e) {
+      std::fprintf(stderr, "[bench] %s\n", e.what());
+    }
+  }
   return 0;
 }
 

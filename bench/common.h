@@ -5,8 +5,12 @@
 // AS_PATH vantage points, and offers printing/CSV helpers.
 //
 // Environment knobs:
-//   V6MON_BENCH_SEED   world/campaign seed (default 2011)
-//   V6MON_BENCH_SCALE  world scale factor (default 1.0)
+//   V6MON_BENCH_SEED     world/campaign seed (default 2011)
+//   V6MON_BENCH_SCALE    world scale factor (default 1.0)
+//   V6MON_BENCH_METRICS  1 = enable the obs:: observability layer for the
+//                        whole binary; the campaign metrics summary is
+//                        printed and bench/out/metrics.json written after
+//                        the benchmarks finish (default off)
 
 #include <benchmark/benchmark.h>
 

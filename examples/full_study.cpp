@@ -3,7 +3,11 @@
 // figure and table of the paper's evaluation section. CSVs (tables plus
 // the raw per-VP observation dumps) land in ./full_study_out/.
 //
-// Usage: full_study [seed] [scale] [sink]
+// Usage: full_study [--metrics] [seed] [scale] [sink]
+//   --metrics: enable the obs:: observability layer; prints the stage /
+//   counter summary and writes full_study_out/metrics.json. Off by
+//   default — a metrics-off run is bit-identical with or without this
+//   binary's instrumentation compiled in.
 //   sink: sharded (default) | mutex | spool — the ingest backend; a pure
 //   performance/memory knob, every backend emits identical bytes. spool
 //   streams observations to full_study_out/*.spool during the campaign
@@ -13,10 +17,13 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <vector>
 
 #include "analysis/tables.h"
 #include "core/campaign.h"
+#include "obs/metrics.h"
 #include "scenario/paper.h"
+#include "util/error.h"
 
 using namespace v6mon;
 
@@ -44,14 +51,31 @@ void dump_observations(const core::ResultsDb& db, const std::string& name) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
     return;
   }
-  db.write_csv(out);
+  try {
+    db.write_csv(out);
+  } catch (const IoError& e) {
+    std::fprintf(stderr, "%s: %s\n", path.c_str(), e.what());
+  }
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 2011;
-  const double scale = argc > 2 ? std::strtod(argv[2], nullptr) : 1.0;
+  bool with_metrics = false;
+  std::vector<const char*> pos;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--metrics") == 0) {
+      with_metrics = true;
+    } else {
+      pos.push_back(argv[i]);
+    }
+  }
+  const std::uint64_t seed =
+      pos.size() > 0 ? std::strtoull(pos[0], nullptr, 10) : 2011;
+  const double scale = pos.size() > 1 ? std::strtod(pos[1], nullptr) : 1.0;
+
+  // Enable before the world build so the rib_build stage is captured.
+  if (with_metrics) obs::metrics().set_enabled(true);
 
   std::printf("v6mon full study: seed=%llu scale=%.2f\n",
               static_cast<unsigned long long>(seed), scale);
@@ -59,7 +83,7 @@ int main(int argc, char** argv) {
   std::printf("%s\n", world.graph.summary().c_str());
 
   core::CampaignConfig cfg = scenario::paper_campaign_config(seed);
-  if (argc > 3) cfg.sink = parse_sink(argv[3]);
+  if (pos.size() > 2) cfg.sink = parse_sink(pos[2]);
   if (cfg.sink == core::SinkBackend::kSpool) {
     util::write_file("full_study_out/.spool_dir", "");  // ensure dir exists
     cfg.spool_dir = "full_study_out";
@@ -120,6 +144,25 @@ int main(int argc, char** argv) {
        analysis::table12_render(analysis::table11_dp(w6d_reports)), "table12.csv");
   show("Table 13: good-AS coverage of DP paths",
        analysis::table13_render(analysis::table13_good_as(reports)), "table13.csv");
+
+  if (with_metrics) {
+    auto& metrics = obs::metrics();
+    metrics.set_gauge("world.sites", static_cast<double>(world.catalog.sites().size()));
+    metrics.set_gauge("world.rounds", static_cast<double>(world.num_rounds));
+    metrics.set_gauge("campaign.threads",
+                      static_cast<double>(campaign.config().threads));
+    std::printf("\n===== Campaign metrics =====\n%s", metrics.summary().c_str());
+    const std::string path = "full_study_out/metrics.json";
+    std::ofstream out(path);
+    try {
+      if (!out) throw IoError("cannot open " + path);
+      metrics.write_json(out);
+      std::printf("metrics written to %s\n", path.c_str());
+    } catch (const IoError& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return 1;
+    }
+  }
 
   std::printf("\nCSV outputs in ./full_study_out/\n");
   return 0;

@@ -1,5 +1,7 @@
 #include "analysis/report.h"
 
+#include "obs/metrics.h"
+
 namespace v6mon::analysis {
 
 VpReport analyze_vp(const std::string& name, core::ObservationView view,
@@ -24,6 +26,7 @@ std::vector<VpReport> analyze_world(const core::World& world,
                                     const std::vector<core::ObservationView>& views,
                                     const AssessmentParams& ap,
                                     const AsLevelParams& lp) {
+  const obs::TraceSpan span(obs::Stage::kAnalysis);
   std::vector<VpReport> out;
   for (std::size_t i = 0; i < world.vantage_points.size() && i < views.size(); ++i) {
     if (!world.vantage_points[i].has_as_path) continue;

@@ -5,12 +5,47 @@
 
 #include "core/spool.h"
 #include "core/thread_pool.h"
+#include "obs/metrics.h"
 #include "util/contracts.h"
 #include "web/dns_backend.h"
 
 namespace v6mon::core {
 
+namespace {
+
+/// Campaign-layer counter handles. Status counters are indexed by the
+/// MonitorStatus enum value so workers count without a name lookup; all
+/// of them are deterministic in thread count and sink backend (each is
+/// incremented exactly once per listed site per round).
+struct CampaignMetricIds {
+  obs::MetricId fast_path_sites = obs::metrics().counter("campaign.fast_path_sites");
+  obs::MetricId sites_monitored = obs::metrics().counter("campaign.sites_monitored");
+  obs::MetricId ingest_rows = obs::metrics().counter("ingest.rows");
+  obs::MetricId ingest_flushes = obs::metrics().counter("ingest.flushes");
+  obs::MetricId status[7] = {
+      obs::metrics().counter("monitor.status.dns-failed"),
+      obs::metrics().counter("monitor.status.v4-only"),
+      obs::metrics().counter("monitor.status.v6-only"),
+      obs::metrics().counter("monitor.status.v4-download-failed"),
+      obs::metrics().counter("monitor.status.v6-download-failed"),
+      obs::metrics().counter("monitor.status.different-content"),
+      obs::metrics().counter("monitor.status.measured"),
+  };
+
+  [[nodiscard]] obs::MetricId status_id(MonitorStatus s) const {
+    return status[static_cast<std::size_t>(s)];
+  }
+};
+
+const CampaignMetricIds& campaign_metric_ids() {
+  static const CampaignMetricIds ids;
+  return ids;
+}
+
+}  // namespace
+
 CampaignConfig Campaign::resolve(CampaignConfig config) {
+  config.monitor.validate();
   if (config.threads == 0) {
     const std::size_t hw = std::max(1u, std::thread::hardware_concurrency());
     config.threads = std::min(config.monitor.max_parallel_sites, hw);
@@ -71,16 +106,29 @@ void Campaign::run_sites(std::size_t vp_index, std::uint32_t round,
     const Observation obs = monitor.monitor_site(
         site, round, resolver, root.child("monitor", key), lane.paths());
     lane.count(round, obs.status);
+    auto& metrics = obs::metrics();
+    const auto& ids = campaign_metric_ids();
+    metrics.add(ids.sites_monitored);
+    metrics.add(ids.status_id(obs.status));
     if (obs.status == MonitorStatus::kMeasured ||
         obs.status == MonitorStatus::kDifferentContent ||
         obs.status == MonitorStatus::kV4DownloadFailed ||
         obs.status == MonitorStatus::kV6DownloadFailed) {
       lane.record(obs);
+      metrics.add(ids.ingest_rows);
     }
   });
   // Round boundary: merge every worker shard into the backing store (or
   // stream it to the spool) in one deterministic pass.
-  sink.flush();
+  {
+    obs::TraceSpan span(obs::Stage::kIngestFlush);
+    sink.flush();
+  }
+  auto& metrics = obs::metrics();
+  metrics.add(campaign_metric_ids().ingest_flushes);
+  // The flush is also the metrics merge boundary: worker-thread shards
+  // fold into the registry totals while no lane traffic is in flight.
+  metrics.merge_shards();
 }
 
 void Campaign::run_round(std::size_t vp_index, std::uint32_t round) {
@@ -104,15 +152,26 @@ void Campaign::run_round(std::size_t vp_index, std::uint32_t round) {
       config_.fast_path && config_.monitor.dns.timeout_prob == 0.0;
   std::vector<std::uint32_t> work;
   std::uint64_t listed = 0;
+  std::uint64_t fast_pathed = 0;
   for (const web::Site& s : world_.catalog.sites()) {
     if (s.from_dns_cache && !vp.uses_dns_cache_supplement) continue;
     if (!s.in_list_at(round)) continue;
     ++listed;
     if (can_fast_path && !s.dual_stack_at(round)) {
       lane.count(round, MonitorStatus::kV4Only);
+      ++fast_pathed;
       continue;
     }
     work.push_back(s.id);
+  }
+  if (fast_pathed != 0) {
+    // Fast-pathed sites still count toward the status totals so metrics
+    // are invariant to the fast_path knob. Batched: the fast path covers
+    // the vast majority of the catalog, and a per-site add would cost
+    // more than the fast path itself.
+    obs::metrics().add(campaign_metric_ids().fast_path_sites, fast_pathed);
+    obs::metrics().add(campaign_metric_ids().status_id(MonitorStatus::kV4Only),
+                       fast_pathed);
   }
   // Fast-pathed + queued sites together must account for every listed
   // site — losing work here silently skews every downstream table.

@@ -2,12 +2,54 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
+#include "obs/metrics.h"
 #include "transport/path.h"
 #include "util/contracts.h"
+#include "util/error.h"
 #include "util/stats.h"
 
 namespace v6mon::core {
+
+void MonitorConfig::validate() const {
+  if (!(identity_threshold >= 0.0) || !std::isfinite(identity_threshold)) {
+    throw ConfigError("identity_threshold must be finite and non-negative");
+  }
+  if (!(ci_rel > 0.0) || !std::isfinite(ci_rel)) {
+    throw ConfigError("ci_rel must be finite and positive");
+  }
+  if (!(confidence > 0.0 && confidence < 1.0)) {
+    throw ConfigError("confidence level must be in (0, 1)");
+  }
+  if (min_downloads < 2) {
+    throw ConfigError("min_downloads must be >= 2 (a CI needs two samples)");
+  }
+  if (max_downloads < min_downloads) {
+    throw ConfigError("max_downloads must be >= min_downloads");
+  }
+  // Observation::v4_samples / v6_samples are uint16_t; a bigger budget
+  // would wrap the recorded sample counts silently (ISSUE 4 satellite).
+  if (max_downloads > std::numeric_limits<std::uint16_t>::max()) {
+    throw ConfigError("max_downloads must fit uint16_t sample counters (<= 65535)");
+  }
+  if (fetch_retries == 0) throw ConfigError("fetch_retries must be >= 1");
+  if (max_parallel_sites == 0) throw ConfigError("max_parallel_sites must be >= 1");
+}
+
+namespace {
+
+/// Counter handles resolved once; registration is idempotent by name.
+struct MonitorMetricIds {
+  obs::MetricId ci_exhausted = obs::metrics().counter("monitor.ci_exhausted");
+};
+
+const MonitorMetricIds& monitor_metric_ids() {
+  static const MonitorMetricIds ids;
+  return ids;
+}
+
+}  // namespace
 
 Monitor::Monitor(const World& world, const VantagePoint& vp, MonitorConfig config)
     : world_(world),
@@ -15,7 +57,9 @@ Monitor::Monitor(const World& world, const VantagePoint& vp, MonitorConfig confi
       config_(config),
       sim_(config.download),
       path_cache_(std::make_unique<transport::PathCache>(
-          world.graph, vp.asn, config.path_quality_sigma)) {}
+          world.graph, vp.asn, config.path_quality_sigma)) {
+  config_.validate();
+}
 
 Monitor::FamilyMeasurement Monitor::measure_family(
     const transport::PathCharacteristics& path, double page_kb, double server_rate,
@@ -29,10 +73,16 @@ Monitor::FamilyMeasurement Monitor::measure_family(
     const auto dl = sim_.simulate(path, page_kb, server_rate, rng);
     if (!dl.ok) continue;
     times.add(dl.seconds);
-    if (times.count() >= config_.min_downloads &&
-        (times.meets_relative_ci(config_.ci_rel, config_.confidence) ||
-         times.count() >= config_.max_downloads)) {
-      break;
+    if (times.count() >= config_.min_downloads) {
+      const bool ci_ok =
+          times.meets_relative_ci(config_.ci_rel, config_.confidence);
+      if (ci_ok || times.count() >= config_.max_downloads) {
+        // The paper's CI loop can give up at the budget without reaching
+        // the 10%-of-mean target; count those so campaigns can see how
+        // often the stopping rule is the budget rather than the CI.
+        if (!ci_ok) obs::metrics().add(monitor_metric_ids().ci_exhausted);
+        break;
+      }
     }
   }
   if (times.count() < config_.min_downloads) return m;  // too many failures
@@ -62,12 +112,15 @@ Observation Monitor::monitor_site(const web::Site& site, std::uint32_t round,
   // site order; it has no observable effect here but keeps draw parity.
   const bool a_first = rng.chance(0.5);
   dns::QueryResult a_res, aaaa_res;
-  if (a_first) {
-    a_res = resolver.resolve(host, dns::RecordType::kA, round);
-    aaaa_res = resolver.resolve(host, dns::RecordType::kAaaa, round);
-  } else {
-    aaaa_res = resolver.resolve(host, dns::RecordType::kAaaa, round);
-    a_res = resolver.resolve(host, dns::RecordType::kA, round);
+  {
+    obs::TraceSpan span(obs::Stage::kDnsResolve);
+    if (a_first) {
+      a_res = resolver.resolve(host, dns::RecordType::kA, round);
+      aaaa_res = resolver.resolve(host, dns::RecordType::kAaaa, round);
+    } else {
+      aaaa_res = resolver.resolve(host, dns::RecordType::kAaaa, round);
+      a_res = resolver.resolve(host, dns::RecordType::kA, round);
+    }
   }
 
   const bool has_a = a_res.has_answers();
@@ -159,15 +212,20 @@ Observation Monitor::monitor_site(const web::Site& site, std::uint32_t round,
   const double v6_rate = v4_rate * site.v6_server_factor;
 
   bool v4_fetched = false, v6_fetched = false;
-  for (std::size_t i = 0; i < config_.fetch_retries && !v4_fetched; ++i) {
-    v4_fetched = sim_.simulate(v4_path, v4_page, v4_rate, rng).ok;
+  {
+    obs::TraceSpan span(obs::Stage::kIdentityFetch);
+    for (std::size_t i = 0; i < config_.fetch_retries && !v4_fetched; ++i) {
+      v4_fetched = sim_.simulate(v4_path, v4_page, v4_rate, rng).ok;
+    }
+    if (v4_fetched) {
+      for (std::size_t i = 0; i < config_.fetch_retries && !v6_fetched; ++i) {
+        v6_fetched = sim_.simulate(v6_path, v6_page, v6_rate, rng).ok;
+      }
+    }
   }
   if (!v4_fetched) {
     obs.status = MonitorStatus::kV4DownloadFailed;
     return obs;
-  }
-  for (std::size_t i = 0; i < config_.fetch_retries && !v6_fetched; ++i) {
-    v6_fetched = sim_.simulate(v6_path, v6_page, v6_rate, rng).ok;
   }
   if (!v6_fetched) {
     obs.status = MonitorStatus::kV6DownloadFailed;
@@ -181,6 +239,7 @@ Observation Monitor::monitor_site(const web::Site& site, std::uint32_t round,
   // --- Phase 4: repeated downloads to the confidence target ---------------
   // IPv4 first, then IPv6, as in the paper (each after cache resets, which
   // the simulator models by independent draws).
+  obs::TraceSpan span(obs::Stage::kRepeatDownloads);
   const FamilyMeasurement v4 = measure_family(v4_path, v4_page, v4_rate, rng);
   if (!v4.ok) {
     obs.status = MonitorStatus::kV4DownloadFailed;

@@ -39,6 +39,13 @@ struct MonitorConfig {
 
   dns::Resolver::Options dns;
   transport::DownloadParams download;
+
+  /// Domain checks on the pipeline constants; throws v6mon::ConfigError.
+  /// In particular `max_downloads` must fit the uint16_t sample-count
+  /// fields (Observation::v4_samples etc.) — a larger budget would
+  /// silently wrap the recorded counts. Called by Monitor and Campaign
+  /// before any measurement runs.
+  void validate() const;
 };
 
 /// The per-site monitoring pipeline of the paper's Fig. 2, bound to one

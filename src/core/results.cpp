@@ -279,21 +279,25 @@ void ResultsDb::write_csv(std::ostream& out) const {
       const Observation o = cols_.row(i);
       write_rows_csv(out, &o, 1);
     }
-    return;
+  } else {
+    // Unfinalized store (tests, partial dumps): order like the finalized
+    // dump's grouping — sites ascending, insertion order within a site.
+    std::vector<Observation> rows;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (const auto& b : staged_batches_) rows.insert(rows.end(), b.begin(), b.end());
+      rows.insert(rows.end(), staging_.begin(), staging_.end());
+    }
+    std::stable_sort(rows.begin(), rows.end(),
+                     [](const Observation& a, const Observation& b) {
+                       return a.site < b.site;
+                     });
+    write_rows_csv(out, rows.data(), rows.size());
   }
-  // Unfinalized store (tests, partial dumps): order like the finalized
-  // dump's grouping — sites ascending, insertion order within a site.
-  std::vector<Observation> rows;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    for (const auto& b : staged_batches_) rows.insert(rows.end(), b.begin(), b.end());
-    rows.insert(rows.end(), staging_.begin(), staging_.end());
-  }
-  std::stable_sort(rows.begin(), rows.end(),
-                   [](const Observation& a, const Observation& b) {
-                     return a.site < b.site;
-                   });
-  write_rows_csv(out, rows.data(), rows.size());
+  // A dump that hit a full disk or bad streambuf must surface — a
+  // silently truncated CSV is indistinguishable from a small campaign.
+  out.flush();
+  if (out.fail()) throw IoError("observation CSV write failed (stream in fail state)");
 }
 
 std::string ResultsDb::to_csv() const {

@@ -1,6 +1,27 @@
 #include "dns/resolver.h"
 
+#include "obs/metrics.h"
+
 namespace v6mon::dns {
+
+namespace {
+
+/// Campaign-wide mirrors of the per-Resolver Stats counters. Each event
+/// fires once per (site, round) RNG stream, so totals are deterministic
+/// in thread count and sink backend.
+struct DnsMetricIds {
+  obs::MetricId queries = obs::metrics().counter("dns.queries");
+  obs::MetricId cache_hits = obs::metrics().counter("dns.cache_hits");
+  obs::MetricId timeouts = obs::metrics().counter("dns.timeouts");
+  obs::MetricId nxdomain = obs::metrics().counter("dns.nxdomain");
+};
+
+const DnsMetricIds& dns_metric_ids() {
+  static const DnsMetricIds ids;
+  return ids;
+}
+
+}  // namespace
 
 Resolver::Resolver(const AuthoritativeSource& source, Options options, util::Rng rng)
     : source_(source), options_(options), rng_(rng) {}
@@ -15,11 +36,13 @@ std::string Resolver::cache_key(std::string_view name, RecordType type) {
 QueryResult Resolver::resolve(std::string_view name, RecordType type,
                               std::uint32_t round) {
   ++stats_.queries;
+  obs::metrics().add(dns_metric_ids().queries);
 
   if (options_.cache_rounds > 0) {
     const auto it = cache_.find(cache_key(name, type));
     if (it != cache_.end() && round < it->second.expires_round) {
       ++stats_.cache_hits;
+      obs::metrics().add(dns_metric_ids().cache_hits);
       QueryResult r = it->second.result;
       r.from_cache = true;
       return r;
@@ -28,6 +51,7 @@ QueryResult Resolver::resolve(std::string_view name, RecordType type,
 
   if (options_.timeout_prob > 0.0 && rng_.chance(options_.timeout_prob)) {
     ++stats_.timeouts;
+    obs::metrics().add(dns_metric_ids().timeouts);
     QueryResult r;
     r.rcode = Rcode::kTimeout;
     return r;  // timeouts are not cached
@@ -39,6 +63,7 @@ QueryResult Resolver::resolve(std::string_view name, RecordType type,
   if (!exists) {
     r.rcode = Rcode::kNxDomain;
     ++stats_.nxdomain;
+    obs::metrics().add(dns_metric_ids().nxdomain);
   }
 
   if (options_.cache_rounds > 0) {

@@ -7,6 +7,7 @@
 
 #include "bgp/route_computer.h"
 #include "core/thread_pool.h"
+#include "obs/metrics.h"
 #include "util/contracts.h"
 #include "util/error.h"
 
@@ -205,6 +206,11 @@ TunnelStats apply_tunnel_overlay(AsGraph& graph, std::size_t num_relays,
 }
 
 void build_ribs(core::World& world, std::size_t threads) {
+  const obs::TraceSpan rib_span(obs::Stage::kRibBuild);
+  // Counted serially below, so plain tallies; added to the registry once
+  // at the end (both are functions of the world alone — deterministic).
+  std::uint64_t tables_built = 0;
+  std::uint64_t routes_installed = 0;
   const AsGraph& g = world.graph;
   core::ThreadPool pool(resolve_build_threads(threads));
   // One CSR projection per family, shared read-only by every convergence
@@ -228,6 +234,7 @@ void build_ribs(core::World& world, std::size_t threads) {
   if (!relays.empty()) {
     const std::vector<Asn> relay_list(relays.begin(), relays.end());
     const auto relay_tables = compute_tables_parallel(pool, v6_view, relay_list);
+    tables_built += relay_list.size();
     const ip::Ipv6Prefix six_to_four = ip::Ipv6Prefix::parse_or_throw("2002::/16");
     for (core::VantagePoint& vp : world.vantage_points) {
       const bgp::RouteTable* best = nullptr;
@@ -243,6 +250,7 @@ void build_ribs(core::World& world, std::size_t threads) {
       e.origin = best->dest();
       e.as_path = best->as_path(vp.asn);
       vp.rib.add_v6(six_to_four, e);
+      ++routes_installed;
     }
   }
 
@@ -279,6 +287,7 @@ void build_ribs(core::World& world, std::size_t threads) {
       }
     });
     for (std::size_t i = 0; i < count; ++i) {
+      tables_built += tables[i].v6 ? 2u : 1u;
       const Asn dest = dests[window + i];
       const topo::AsNode& dn = g.node(dest);
       const DestTables& dt = tables[i];
@@ -293,6 +302,7 @@ void build_ribs(core::World& world, std::size_t threads) {
               bgp::is_valley_free(g, ip::Family::kIpv4, vp.asn, e.as_path),
               "selected IPv4 route violates valley-freedom");
           for (const auto& p : dn.v4_prefixes) vp.rib.add_v4(p, e);
+          routes_installed += dn.v4_prefixes.size();
         }
         if (dt.v6 && dt.v6->reachable(vp.asn)) {
           bgp::RibEntry e;
@@ -305,11 +315,16 @@ void build_ribs(core::World& world, std::size_t threads) {
             // 6to4 space is covered by the anycast 2002::/16 route above.
             if (p.network().is_6to4()) continue;
             vp.rib.add_v6(p, e);
+            ++routes_installed;
           }
         }
       }
     }
   }
+
+  auto& metrics = obs::metrics();
+  metrics.add(metrics.counter("rib.dest_tables"), tables_built);
+  metrics.add(metrics.counter("rib.routes"), routes_installed);
 }
 
 core::World build_world(const WorldSpec& spec) {

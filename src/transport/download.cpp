@@ -2,14 +2,39 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+
 namespace v6mon::transport {
+
+namespace {
+
+/// Attempt/failure totals; every attempt is driven by a per-(site, round)
+/// RNG stream, so both counters are deterministic in thread count.
+struct DownloadMetricIds {
+  obs::MetricId downloads = obs::metrics().counter("transport.downloads");
+  obs::MetricId failures = obs::metrics().counter("transport.download_failures");
+};
+
+const DownloadMetricIds& download_metric_ids() {
+  static const DownloadMetricIds ids;
+  return ids;
+}
+
+}  // namespace
 
 DownloadResult DownloadSimulator::simulate(const PathCharacteristics& path,
                                            double page_kb, double server_rate_kBps,
                                            util::Rng& rng) const {
+  obs::metrics().add(download_metric_ids().downloads);
   DownloadResult r;
-  if (!path.valid || page_kb <= 0.0 || server_rate_kBps <= 0.0) return r;
-  if (params_.failure_prob > 0.0 && rng.chance(params_.failure_prob)) return r;
+  if (!path.valid || page_kb <= 0.0 || server_rate_kBps <= 0.0) {
+    obs::metrics().add(download_metric_ids().failures);
+    return r;
+  }
+  if (params_.failure_prob > 0.0 && rng.chance(params_.failure_prob)) {
+    obs::metrics().add(download_metric_ids().failures);
+    return r;
+  }
 
   const double rtt_s = std::max(path.rtt_ms, 1.0) / 1000.0;
   const double window_rate = params_.window_kB / rtt_s;

@@ -4,7 +4,26 @@
 #include <functional>
 #include <mutex>
 
+#include "obs/metrics.h"
+
 namespace v6mon::transport {
+
+namespace {
+
+/// Lookups equal characteristics() calls (twice per dual-stack site);
+/// inserts equal distinct (path, family) keys — both independent of
+/// which thread wins the try_emplace race, so deterministic.
+struct PathCacheMetricIds {
+  obs::MetricId lookups = obs::metrics().counter("path_cache.lookups");
+  obs::MetricId inserts = obs::metrics().counter("path_cache.inserts");
+};
+
+const PathCacheMetricIds& path_cache_metric_ids() {
+  static const PathCacheMetricIds ids;
+  return ids;
+}
+
+}  // namespace
 
 std::string PathCache::key_of(const std::vector<topo::Asn>& as_path,
                               ip::Family family) {
@@ -22,6 +41,7 @@ std::string PathCache::key_of(const std::vector<topo::Asn>& as_path,
 PathCharacteristics PathCache::characteristics(
     const std::vector<topo::Asn>& as_path, ip::Family family) {
   lookups_.fetch_add(1, std::memory_order_relaxed);
+  obs::metrics().add(path_cache_metric_ids().lookups);
   const std::string key = key_of(as_path, family);
   Shard& shard = shards_[std::hash<std::string>{}(key) % kShards];
   {
@@ -36,7 +56,10 @@ PathCharacteristics PathCache::characteristics(
   {
     std::unique_lock<std::shared_mutex> lock(shard.mu);
     const auto [it, inserted] = shard.map.try_emplace(key, pc);
-    if (inserted) misses_.fetch_add(1, std::memory_order_relaxed);
+    if (inserted) {
+      misses_.fetch_add(1, std::memory_order_relaxed);
+      obs::metrics().add(path_cache_metric_ids().inserts);
+    }
     return it->second;  // the first writer's value, for every caller
   }
 }

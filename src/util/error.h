@@ -28,4 +28,12 @@ class ConfigError : public Error {
   explicit ConfigError(const std::string& what) : Error("config error: " + what) {}
 };
 
+/// Thrown when a stream writer (CSV dumps, metrics export) detects a
+/// failed stream at flush — a full disk must surface, not silently
+/// truncate the file.
+class IoError : public Error {
+ public:
+  explicit IoError(const std::string& what) : Error("io error: " + what) {}
+};
+
 }  // namespace v6mon

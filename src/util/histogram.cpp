@@ -15,6 +15,10 @@ Histogram::Histogram(double lo, double hi, std::size_t bins)
 }
 
 std::size_t Histogram::bin_of(double x) const {
+  // NaN compares false against everything: it would skip both clamps
+  // below and index by a NaN-derived cast (UB). Same finite-sample
+  // contract as RunningStats::add; ±inf is fine (the clamps catch it).
+  V6MON_ASSERT(!std::isnan(x), "Histogram cannot bin a NaN sample");
   if (x <= lo_) return 0;
   if (x >= hi_) return counts_.size() - 1;
   const double frac = (x - lo_) / (hi_ - lo_);
@@ -30,6 +34,12 @@ std::size_t Histogram::bin_of(double x) const {
 void Histogram::add(double x) {
   ++counts_[bin_of(x)];
   ++total_;
+}
+
+void Histogram::add_to_bin(std::size_t bin, std::size_t n) {
+  V6MON_REQUIRE(bin < counts_.size(), "bin index out of range");
+  counts_[bin] += n;
+  total_ += n;
 }
 
 double Histogram::bin_lo(std::size_t bin) const {

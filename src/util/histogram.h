@@ -7,12 +7,19 @@
 namespace v6mon::util {
 
 /// Fixed-width binned histogram over a closed range. Values outside the
-/// range clamp into the first/last bin.
+/// range clamp into the first/last bin (±inf included); NaN is a
+/// contract violation — like RunningStats, samples must come from the
+/// finite-measurement domain, and a NaN would otherwise fall through
+/// every clamping comparison into an arbitrary bin.
 class Histogram {
  public:
   Histogram(double lo, double hi, std::size_t bins);
 
   void add(double x);
+  /// Bulk-add `n` samples directly into `bin` — the merge path for
+  /// externally binned counts (obs::MetricsRegistry renders its shard
+  /// histograms through this without replaying samples).
+  void add_to_bin(std::size_t bin, std::size_t n);
 
   [[nodiscard]] std::size_t bin_of(double x) const;
   [[nodiscard]] std::size_t bins() const { return counts_.size(); }

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
+#include "util/contracts.h"
 #include "util/error.h"
 
 namespace v6mon::util {
@@ -59,6 +62,44 @@ TEST(Histogram, EmptyMass) {
   Histogram h(0.0, 1.0, 5);
   EXPECT_DOUBLE_EQ(h.mass_at(0.5), 0.0);
 }
+
+#if V6MON_CONTRACT_LEVEL >= 1
+TEST(Histogram, NanSampleViolatesContract) {
+  // Regression: NaN compares false against both clamp bounds, so before
+  // the contract it fell through to a NaN-derived size_t cast (UB bin
+  // index). It must trip the finite-sample contract instead, like
+  // RunningStats::add.
+  struct Intercepted : std::exception {};
+  auto* previous =
+      util::set_contract_abort_handler(+[]() -> void { throw Intercepted(); });
+  Histogram h(0.0, 1.0, 5);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(h.add(nan), Intercepted);
+  EXPECT_THROW((void)h.bin_of(nan), Intercepted);
+  Histogram populated(0.0, 1.0, 5);
+  populated.add(0.5);  // mass_at short-circuits on an empty histogram
+  EXPECT_THROW((void)populated.mass_at(nan), Intercepted);
+  util::set_contract_abort_handler(previous);
+  EXPECT_EQ(h.total(), 0u);  // the poisoned sample was never recorded
+}
+
+TEST(Histogram, InfinityStillClamps) {
+  Histogram h(0.0, 1.0, 5);
+  h.add(std::numeric_limits<double>::infinity());
+  h.add(-std::numeric_limits<double>::infinity());
+  EXPECT_EQ(h.count(4), 1u);
+  EXPECT_EQ(h.count(0), 1u);
+}
+
+TEST(Histogram, AddToBinBulkMerge) {
+  Histogram h(0.0, 1.0, 4);
+  h.add_to_bin(2, 7);
+  h.add_to_bin(0, 1);
+  EXPECT_EQ(h.total(), 8u);
+  EXPECT_EQ(h.count(2), 7u);
+  EXPECT_THROW(h.add_to_bin(4, 1), ContractError);
+}
+#endif  // V6MON_CONTRACT_LEVEL >= 1
 
 }  // namespace
 }  // namespace v6mon::util

@@ -1,0 +1,312 @@
+// Observability layer: the obs::MetricsRegistry contract (inert when
+// disabled, lock-free sharded recording, deterministic merged counters),
+// the stage tracing spans, the monitor-config domain validation, and the
+// streaming-writer failure surfacing. The campaign-level matrix at the
+// bottom is the PR's determinism acceptance test: counter exports must
+// be byte-identical across thread counts and sink backends, and turning
+// metrics on must not perturb a single observation byte.
+
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <sstream>
+#include <streambuf>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/campaign.h"
+#include "core/monitor.h"
+#include "scenario/world_builder.h"
+#include "util/error.h"
+
+namespace v6mon {
+namespace {
+
+/// A streambuf that refuses every byte — the portable stand-in for a
+/// full disk. Any ostream writing through it enters the fail state.
+class FailingStreambuf : public std::streambuf {
+ protected:
+  int overflow(int) override { return traits_type::eof(); }
+  std::streamsize xsputn(const char*, std::streamsize) override { return 0; }
+};
+
+// ---------------------------------------------------------------------------
+// Registry unit tests (local registries; the global one stays untouched).
+// ---------------------------------------------------------------------------
+
+TEST(Metrics, DisabledRegistryRecordsNothing) {
+  obs::MetricsRegistry reg;
+  ASSERT_FALSE(reg.enabled());  // disabled is the default
+  const obs::MetricId c = reg.counter("test.counter");
+  reg.add(c, 5);
+  reg.record_span(obs::Stage::kAnalysis, 1000);
+  EXPECT_EQ(reg.counter_value("test.counter"), 0u);
+  EXPECT_EQ(reg.stage_totals(obs::Stage::kAnalysis).calls, 0u);
+  EXPECT_EQ(reg.shard_count(), 0u);  // the hot path never touched a shard
+}
+
+TEST(Metrics, CounterRegistrationIsIdempotentByName) {
+  obs::MetricsRegistry reg;
+  const obs::MetricId a = reg.counter("same.name");
+  const obs::MetricId b = reg.counter("same.name");
+  const obs::MetricId c = reg.counter("other.name");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(Metrics, CounterCapacityExhaustionThrows) {
+  obs::MetricsRegistry reg;
+  for (std::size_t i = 0;; ++i) {
+    ASSERT_LT(i, obs::MetricsRegistry::kMaxCounters);
+    try {
+      (void)reg.counter("cap." + std::to_string(i));
+    } catch (const ConfigError&) {
+      return;  // hit the documented fixed capacity
+    }
+  }
+}
+
+TEST(Metrics, ThreadedCountsMergeExactly) {
+  obs::MetricsRegistry reg;
+  reg.set_enabled(true);
+  const obs::MetricId c = reg.counter("t.count");
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 10000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&reg, c] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) reg.add(c);
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  // Sums of per-shard cells are independent of shard count and merge
+  // order: the total is exact, not approximate.
+  EXPECT_EQ(reg.counter_value("t.count"), kThreads * kPerThread);
+  EXPECT_GE(reg.shard_count(), 1u);
+}
+
+TEST(Metrics, ResetZeroesValuesButKeepsRegistrations) {
+  obs::MetricsRegistry reg;
+  reg.set_enabled(true);
+  const obs::MetricId c = reg.counter("r.count");
+  reg.add(c, 7);
+  reg.set_gauge("r.gauge", 3.0);
+  ASSERT_EQ(reg.counter_value("r.count"), 7u);
+  reg.reset();
+  EXPECT_EQ(reg.counter_value("r.count"), 0u);
+  EXPECT_EQ(reg.counter("r.count"), c);  // same id after reset
+}
+
+TEST(Metrics, StageSpanAndScopedTimerRecord) {
+  // TraceSpan records into the *global* registry; use it directly but
+  // restore its state so later campaign tests start clean.
+  auto& reg = obs::metrics();
+  reg.reset();
+  reg.set_enabled(true);
+  { const obs::TraceSpan span(obs::Stage::kAnalysis); }
+  { const obs::TraceSpan span(obs::Stage::kAnalysis); }
+  const auto totals = reg.stage_totals(obs::Stage::kAnalysis);
+  EXPECT_EQ(totals.calls, 2u);
+
+  const obs::MetricId h = reg.histogram("test.latency");
+  { const obs::ScopedTimer timer(reg, h); }
+  const std::string json = reg.to_json();
+  EXPECT_NE(json.find("\"test.latency\""), std::string::npos);
+  reg.set_enabled(false);
+  reg.reset();
+}
+
+TEST(Metrics, CountersJsonIsSortedAndCoversAllStages) {
+  obs::MetricsRegistry reg;
+  const std::string json = reg.counters_json();
+  // Every pre-registered counter and every stage call-count appears even
+  // when zero — a stable key set is what makes exports diffable.
+  std::size_t prev_pos = 0;
+  for (const char* key :
+       {"campaign.sites_monitored", "dns.queries", "ingest.flushes",
+        "monitor.ci_exhausted", "stage.analysis.calls", "stage.dns_resolve.calls",
+        "stage.identity_fetch.calls", "stage.ingest_flush.calls",
+        "stage.repeat_downloads.calls", "stage.rib_build.calls"}) {
+    const std::size_t pos = json.find(std::string("\"") + key + "\"");
+    ASSERT_NE(pos, std::string::npos) << key;
+    EXPECT_GT(pos, prev_pos) << key << " breaks sorted order";
+    prev_pos = pos;
+  }
+}
+
+TEST(Metrics, WriteJsonSurfacesFailedStream) {
+  obs::MetricsRegistry reg;
+  FailingStreambuf buf;
+  std::ostream out(&buf);
+  EXPECT_THROW(reg.write_json(out), IoError);
+}
+
+TEST(Metrics, SummaryRendersStagesAndCounters) {
+  obs::MetricsRegistry reg;
+  reg.set_enabled(true);
+  reg.add(reg.counter("s.count"), 3);
+  const std::string s = reg.summary();
+  EXPECT_NE(s.find("dns_resolve"), std::string::npos);
+  EXPECT_NE(s.find("rib_build"), std::string::npos);
+  EXPECT_NE(s.find("s.count"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Monitor-config domain validation (the uint16_t narrowing satellite).
+// ---------------------------------------------------------------------------
+
+TEST(MonitorConfigValidate, RejectsBudgetWiderThanSampleCounters) {
+  core::MonitorConfig cfg;
+  cfg.max_downloads = 65535;
+  EXPECT_NO_THROW(cfg.validate());
+  // 65536 would wrap Observation::v4_samples (uint16_t) to 0.
+  cfg.max_downloads = 65536;
+  EXPECT_THROW(cfg.validate(), ConfigError);
+}
+
+TEST(MonitorConfigValidate, RejectsOutOfDomainConstants) {
+  const core::MonitorConfig good;
+  EXPECT_NO_THROW(good.validate());
+  auto expect_bad = [](auto&& mutate) {
+    core::MonitorConfig cfg;
+    mutate(cfg);
+    EXPECT_THROW(cfg.validate(), ConfigError);
+  };
+  expect_bad([](core::MonitorConfig& c) { c.min_downloads = 1; });
+  expect_bad([](core::MonitorConfig& c) { c.max_downloads = c.min_downloads - 1; });
+  expect_bad([](core::MonitorConfig& c) { c.confidence = 1.0; });
+  expect_bad([](core::MonitorConfig& c) { c.confidence = 0.0; });
+  expect_bad([](core::MonitorConfig& c) { c.ci_rel = 0.0; });
+  expect_bad([](core::MonitorConfig& c) { c.ci_rel = std::nan(""); });
+  expect_bad([](core::MonitorConfig& c) { c.identity_threshold = -0.1; });
+  expect_bad([](core::MonitorConfig& c) { c.fetch_retries = 0; });
+  expect_bad([](core::MonitorConfig& c) { c.max_parallel_sites = 0; });
+}
+
+// ---------------------------------------------------------------------------
+// Streaming-writer failure surfacing (ResultsDb::write_csv).
+// ---------------------------------------------------------------------------
+
+TEST(ResultsCsv, WriteCsvSurfacesFailedStream) {
+  const core::ResultsDb db;  // header row alone is enough to hit the buf
+  FailingStreambuf buf;
+  std::ostream out(&buf);
+  EXPECT_THROW(db.write_csv(out), IoError);
+}
+
+TEST(ResultsCsv, WriteCsvToHealthyStreamStillWorks) {
+  const core::ResultsDb db;
+  std::ostringstream out;
+  EXPECT_NO_THROW(db.write_csv(out));
+  EXPECT_NE(out.str().find("site,round,status"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Campaign-level determinism matrix.
+// ---------------------------------------------------------------------------
+
+scenario::WorldSpec small_spec() {
+  scenario::WorldSpec spec;
+  spec.seed = 4211;
+  spec.topology.num_tier1 = 3;
+  spec.topology.num_transit = 15;
+  spec.topology.num_stub = 80;
+  spec.catalog.initial_sites = 1200;
+  spec.catalog.churn_per_round = 8;
+  spec.catalog.num_rounds = 5;
+  spec.catalog.adoption = {0.5, 0.4, 0.3, 0.25, 0.2, 0.15};
+  spec.w6d_round = 3;
+  spec.vantage_points = {{.name = "VP",
+                          .type = core::VantagePoint::Type::kAcademic,
+                          .region = topo::Region::kNorthAmerica,
+                          .start_round = 0,
+                          .has_as_path = true,
+                          .whitelisted = false,
+                          .uses_dns_cache_supplement = false,
+                          .num_v4_providers = 2,
+                          .v6_mode = scenario::V6UplinkMode::kSameProviders}};
+  return spec;
+}
+
+const core::World& small_world() {
+  static const core::World w = scenario::build_world(small_spec());
+  return w;
+}
+
+std::string spool_dir() {
+  const auto dir = std::filesystem::temp_directory_path() / "v6mon_metrics_test";
+  std::filesystem::create_directories(dir);
+  return dir.string();
+}
+
+struct CampaignRun {
+  std::string counters;       ///< counters_json() after the full campaign.
+  std::string observations;   ///< every store's CSV, concatenated.
+};
+
+CampaignRun run_instrumented(std::size_t threads, core::SinkBackend backend,
+                             bool with_metrics) {
+  // Materialize the shared world while metrics are still off: the lazy
+  // first build would otherwise record rib_build counters into whichever
+  // run happens to come first, breaking run-to-run comparability.
+  (void)small_world();
+  auto& reg = obs::metrics();
+  reg.reset();
+  reg.set_enabled(with_metrics);
+  core::CampaignConfig cfg;
+  cfg.seed = 2011;
+  cfg.threads = threads;
+  cfg.sink = backend;
+  if (backend == core::SinkBackend::kSpool) cfg.spool_dir = spool_dir();
+  core::Campaign campaign(small_world(), cfg);
+  campaign.run();
+  campaign.run_w6d();
+  campaign.finalize();
+  CampaignRun out;
+  out.counters = reg.counters_json();
+  out.observations = campaign.results(0).to_csv();
+  out.observations += campaign.w6d_results(0).to_csv();
+  reg.set_enabled(false);
+  reg.reset();
+  return out;
+}
+
+TEST(MetricsDeterminism, CountersIdenticalAcrossThreadsAndBackends) {
+  const CampaignRun reference =
+      run_instrumented(1, core::SinkBackend::kMutex, /*with_metrics=*/true);
+  // A campaign this size must actually exercise the counters, or this
+  // test compares empty exports: "sites_monitored" must not read 0.
+  EXPECT_EQ(reference.counters.find("\"campaign.sites_monitored\":0,"),
+            std::string::npos);
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{8}}) {
+    for (const core::SinkBackend backend :
+         {core::SinkBackend::kMutex, core::SinkBackend::kSharded,
+          core::SinkBackend::kSpool}) {
+      SCOPED_TRACE(testing::Message() << "threads=" << threads << " backend="
+                                      << static_cast<int>(backend));
+      const CampaignRun run = run_instrumented(threads, backend, true);
+      EXPECT_EQ(run.counters, reference.counters);
+      EXPECT_EQ(run.observations, reference.observations);
+    }
+  }
+}
+
+TEST(MetricsDeterminism, MetricsOnDoesNotPerturbObservations) {
+  const CampaignRun off =
+      run_instrumented(8, core::SinkBackend::kSharded, /*with_metrics=*/false);
+  const CampaignRun on =
+      run_instrumented(8, core::SinkBackend::kSharded, /*with_metrics=*/true);
+  // Metrics off: the export exists but records nothing.
+  EXPECT_NE(off.counters.find("\"campaign.sites_monitored\":0"),
+            std::string::npos);
+  // Metrics on: same observation bytes, now with populated counters.
+  EXPECT_EQ(on.observations, off.observations);
+  EXPECT_EQ(on.counters.find("\"campaign.sites_monitored\":0,"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace v6mon

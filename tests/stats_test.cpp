@@ -122,6 +122,35 @@ TEST(StudentT, ContinuousAcrossTableBoundary) {
   EXPECT_LT(std::fabs(t30 - t31), 0.01);
 }
 
+// The df=30 -> 31 seam is where the implementation switches from the
+// lookup table to the Cornish-Fisher expansion. Pin the seam for every
+// confidence level the CI loop can select: the curve must stay monotone
+// non-increasing in df across the whole 1..200 range (no jump where the
+// backends meet) and each single step must be small. A seam jump > 1e-2
+// would bias the paper's stop-at-CI download counts.
+TEST(StudentT, SeamMonotoneAndContinuousAtAllConfidences) {
+  for (const double confidence : {0.90, 0.95, 0.99}) {
+    SCOPED_TRACE(confidence);
+    double prev = student_t_critical(confidence, 1);
+    for (std::size_t df = 2; df <= 200; ++df) {
+      const double cur = student_t_critical(confidence, df);
+      EXPECT_GT(cur, 0.0) << "df=" << df;
+      EXPECT_LE(cur, prev + 1e-12) << "df=" << df << ": t must not increase";
+      if (df >= 28) {
+        // By df 28 the curve is nearly flat, so any step near 1e-2 around
+        // the df 30 -> 31 handoff could only come from the table and the
+        // expansion disagreeing — the seam jump this test pins down.
+        EXPECT_LT(prev - cur, 1e-2) << "df=" << df << ": seam jump";
+      }
+      prev = cur;
+    }
+    // And the expansion tracks the normal limit it converges to (the
+    // true t(0.99, 200) is ~2.601, still 0.025 above z — not a bug).
+    const double z = confidence >= 0.989 ? 2.576 : confidence >= 0.949 ? 1.960 : 1.645;
+    EXPECT_NEAR(student_t_critical(confidence, 200), z, 3e-2);
+  }
+}
+
 TEST(StudentT, ZeroDfIsInfinite) {
   EXPECT_TRUE(std::isinf(student_t_critical(0.95, 0)));
 }
