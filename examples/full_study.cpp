@@ -3,11 +3,14 @@
 // figure and table of the paper's evaluation section. CSVs (tables plus
 // the raw per-VP observation dumps) land in ./full_study_out/.
 //
-// Usage: full_study [--metrics] [seed] [scale] [sink]
+// Usage: full_study [--metrics] [--config FILE] [seed] [scale] [sink]
 //   --metrics: enable the obs:: observability layer; prints the stage /
 //   counter summary and writes full_study_out/metrics.json. Off by
 //   default — a metrics-off run is bit-identical with or without this
 //   binary's instrumentation compiled in.
+//   --config FILE: load a scenario file (scenario/config_loader.h) as the
+//   run's baseline. Precedence: paper defaults < scenario file <
+//   positional arguments.
 //   sink: sharded (default) | mutex | spool — the ingest backend; a pure
 //   performance/memory knob, every backend emits identical bytes. spool
 //   streams observations to full_study_out/*.spool during the campaign
@@ -22,6 +25,7 @@
 #include "analysis/tables.h"
 #include "core/campaign.h"
 #include "obs/metrics.h"
+#include "scenario/config_loader.h"
 #include "scenario/paper.h"
 #include "util/error.h"
 
@@ -62,17 +66,37 @@ void dump_observations(const core::ResultsDb& db, const std::string& name) {
 
 int main(int argc, char** argv) {
   bool with_metrics = false;
+  const char* config_path = nullptr;
   std::vector<const char*> pos;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--metrics") == 0) {
       with_metrics = true;
+    } else if (std::strcmp(argv[i], "--config") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--config needs a scenario-file argument\n");
+        return 2;
+      }
+      config_path = argv[++i];
     } else {
       pos.push_back(argv[i]);
     }
   }
-  const std::uint64_t seed =
-      pos.size() > 0 ? std::strtoull(pos[0], nullptr, 10) : 2011;
-  const double scale = pos.size() > 1 ? std::strtod(pos[1], nullptr) : 1.0;
+
+  scenario::ScenarioSpec spec;
+  bool have_spec = false;
+  if (config_path != nullptr) {
+    try {
+      spec = scenario::load_scenario_file(config_path);
+      have_spec = true;
+    } catch (const Error& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return 2;
+    }
+  }
+  std::uint64_t seed = have_spec ? spec.world_seed : 2011;
+  double scale = have_spec ? spec.scale : 1.0;
+  if (pos.size() > 0) seed = std::strtoull(pos[0], nullptr, 10);
+  if (pos.size() > 1) scale = std::strtod(pos[1], nullptr);
 
   // Enable before the world build so the rib_build stage is captured.
   if (with_metrics) obs::metrics().set_enabled(true);
@@ -82,7 +106,14 @@ int main(int argc, char** argv) {
   const core::World world = scenario::build_paper_world(seed, scale);
   std::printf("%s\n", world.graph.summary().c_str());
 
-  core::CampaignConfig cfg = scenario::paper_campaign_config(seed);
+  core::CampaignConfig cfg =
+      have_spec ? spec.campaign : scenario::paper_campaign_config(seed);
+  // A positional seed over a scenario file keeps the one-seed convention:
+  // it re-seeds the campaign too unless the file pinned campaign.seed away
+  // from its world seed.
+  if (have_spec && pos.size() > 0 && spec.campaign.seed == spec.world_seed) {
+    cfg.seed = seed;
+  }
   if (pos.size() > 2) cfg.sink = parse_sink(pos[2]);
   if (cfg.sink == core::SinkBackend::kSpool) {
     util::write_file("full_study_out/.spool_dir", "");  // ensure dir exists

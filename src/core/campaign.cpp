@@ -141,7 +141,7 @@ void Campaign::run_round(std::size_t vp_index, std::uint32_t round) {
   // One ingest epoch at a time per store: concurrent run_round calls on
   // the same vantage point serialize here, upholding the sink's
   // flush-without-lane-traffic contract.
-  std::lock_guard<std::mutex> epoch(store.epoch_mu);
+  util::LockGuard epoch(store.epoch_mu);
   ObservationSink& sink = *store.sink;
   ObservationSink::Lane& lane = sink.lane();  // coordinator's own lane
 
@@ -205,7 +205,7 @@ void Campaign::run_w6d() {
   for (std::size_t vp = 0; vp < world_.vantage_points.size(); ++vp) {
     if (world_.vantage_points[vp].start_round > world_.w6d_round) continue;
     VpStore& store = w6d_stores_[vp];
-    std::lock_guard<std::mutex> epoch(store.epoch_mu);
+    util::LockGuard epoch(store.epoch_mu);
     for (std::size_t mini = 0; mini < config_.w6d_mini_rounds; ++mini) {
       // All mini-rounds happen at the W6D calendar round (same DNS state)
       // but with independent randomness. Each run_sites call is one
@@ -222,7 +222,7 @@ void Campaign::finalize() {
   finalized_ = true;
   for (std::deque<VpStore>* group : {&stores_, &w6d_stores_}) {
     for (VpStore& store : *group) {
-      std::lock_guard<std::mutex> epoch(store.epoch_mu);
+      util::LockGuard epoch(store.epoch_mu);
       store.sink->finish();
       if (!store.spool_path.empty()) {
         // Out-of-core campaign: pull the spooled rows back in for the

@@ -2,7 +2,6 @@
 
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
@@ -87,7 +86,12 @@ class Campaign {
     std::unique_ptr<ResultsDb> db;
     std::unique_ptr<ObservationSink> sink;
     std::string spool_path;  ///< Non-empty for the kSpool backend.
-    std::mutex epoch_mu;
+    /// Ingest-epoch capability: held for the whole of a round (or a
+    /// finalize) on this store, serializing epochs so the sink's
+    /// flush-without-lane-traffic contract holds. It guards a *protocol*
+    /// (exclusive use of `sink`), not a field — `db`/`sink` themselves
+    /// are set once at construction and internally synchronized.
+    util::Mutex epoch_mu;
   };
 
   /// Populate a freshly emplaced store in place (VpStore is immovable).

@@ -30,7 +30,7 @@ bool PathRegistry::SpanEq::operator()(const SpanKey& a,
 
 PathId PathRegistry::intern(std::span<const topo::Asn> path) {
   const SpanKey probe{path.data(), static_cast<std::uint32_t>(path.size())};
-  std::lock_guard<std::mutex> lock(mu_);
+  util::LockGuard lock(mu_);
   const auto it = index_.find(probe);
   if (it != index_.end()) return it->second;  // hot path: zero allocations
   const PathId id = static_cast<PathId>(paths_.size());
@@ -41,13 +41,13 @@ PathId PathRegistry::intern(std::span<const topo::Asn> path) {
 }
 
 const std::vector<topo::Asn>& PathRegistry::path(PathId id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::LockGuard lock(mu_);
   V6MON_REQUIRE(id < paths_.size(), "path id out of range");
   return paths_[id];
 }
 
 std::size_t PathRegistry::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::LockGuard lock(mu_);
   return paths_.size();
 }
 
@@ -134,13 +134,13 @@ Observation ObservationColumns::row(std::size_t i) const {
 // --- ResultsDb ---------------------------------------------------------------
 
 void ResultsDb::add(const Observation& obs) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::LockGuard lock(mu_);
   staging_.push_back(obs);
 }
 
 void ResultsDb::merge_rows(std::span<const Observation> batch) {
   if (batch.empty()) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  util::LockGuard lock(mu_);
   staging_.insert(staging_.end(), batch.begin(), batch.end());
 }
 
@@ -152,7 +152,7 @@ void ResultsDb::seal_staging() {
 
 void ResultsDb::merge_rows(std::vector<Observation>&& batch) {
   if (batch.empty()) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  util::LockGuard lock(mu_);
   // Seal any loose add()/span rows first so the batch lands after them.
   seal_staging();
   staged_batches_.push_back(std::move(batch));
@@ -164,25 +164,25 @@ RoundCounters& ResultsDb::round_slot(std::uint32_t round) {
 }
 
 void ResultsDb::count(std::uint32_t round, MonitorStatus status) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::LockGuard lock(mu_);
   apply_status(round_slot(round), status);
 }
 
 void ResultsDb::count_listed(std::uint32_t round, std::uint64_t n) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::LockGuard lock(mu_);
   round_slot(round).listed += n;
 }
 
 void ResultsDb::merge_counters(const std::vector<RoundCounters>& deltas) {
   if (deltas.empty()) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  util::LockGuard lock(mu_);
   for (std::uint32_t r = 0; r < deltas.size(); ++r) {
     round_slot(r) += deltas[r];
   }
 }
 
 void ResultsDb::merge_counters(std::uint32_t round, const RoundCounters& delta) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::LockGuard lock(mu_);
   round_slot(round) += delta;
 }
 
@@ -196,12 +196,19 @@ SiteSeries ResultsDb::series(std::uint32_t site) const {
 
 const RoundCounters& ResultsDb::round_counters(std::uint32_t round) const {
   static const RoundCounters kEmpty{};
+  // Surfaced by the thread-safety annotations (ISSUE 6): this read of
+  // rounds_ used to rely on the read-after-ingest convention alone, but
+  // unlike the phase-published columns it shares a field with live
+  // ingest (count/merge_counters resize it) — so it takes the lock like
+  // every other rounds_ access. The returned reference is stable only
+  // once ingest has quiesced, as before.
+  util::LockGuard lock(mu_);
   if (round >= rounds_.size()) return kEmpty;
   return rounds_[round];
 }
 
 void ResultsDb::finalize() {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::LockGuard lock(mu_);
   if (finalized_ && staging_.empty() && staged_batches_.empty()) return;
 
   // Materialize every row: the already-finalized columns (when data
@@ -284,7 +291,7 @@ void ResultsDb::write_csv(std::ostream& out) const {
     // dump's grouping — sites ascending, insertion order within a site.
     std::vector<Observation> rows;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      util::LockGuard lock(mu_);
       for (const auto& b : staged_batches_) rows.insert(rows.end(), b.begin(), b.end());
       rows.insert(rows.end(), staging_.begin(), staging_.end());
     }

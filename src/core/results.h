@@ -3,7 +3,6 @@
 #include <cstdint>
 #include <deque>
 #include <initializer_list>
-#include <mutex>
 #include <ostream>
 #include <span>
 #include <string>
@@ -11,6 +10,7 @@
 #include <vector>
 
 #include "topo/as_graph.h"
+#include "util/thread_annotations.h"
 
 namespace v6mon::core {
 
@@ -83,9 +83,10 @@ class PathRegistry {
     bool operator()(const SpanKey& a, const SpanKey& b) const noexcept;
   };
 
-  mutable std::mutex mu_;
-  std::deque<std::vector<topo::Asn>> paths_;
-  std::unordered_map<SpanKey, PathId, SpanHash, SpanEq> index_;
+  mutable util::Mutex mu_;
+  std::deque<std::vector<topo::Asn>> paths_ V6MON_GUARDED_BY(mu_);
+  std::unordered_map<SpanKey, PathId, SpanHash, SpanEq> index_
+      V6MON_GUARDED_BY(mu_);
 };
 
 /// One monitoring observation of one site in one round from one vantage
@@ -246,7 +247,10 @@ class ResultsDb {
   [[nodiscard]] SiteSeries series(std::uint32_t site) const;
 
   [[nodiscard]] const RoundCounters& round_counters(std::uint32_t round) const;
-  [[nodiscard]] std::size_t rounds() const { return rounds_.size(); }
+  [[nodiscard]] std::size_t rounds() const {
+    util::LockGuard lock(mu_);
+    return rounds_.size();
+  }
 
   /// Group staged rows by site, sort each site's series by round, and
   /// (re)build the columnar store + dense site index. Idempotent; call
@@ -261,27 +265,30 @@ class ResultsDb {
   [[nodiscard]] std::string to_csv() const;
 
  private:
-  mutable std::mutex mu_;
-  PathRegistry paths_;
+  mutable util::Mutex mu_;
+  PathRegistry paths_;  ///< Internally synchronized (its own mutex).
   /// Row-order ingest staging; drained into `cols_` by finalize().
   /// Whole-batch merges land in `staged_batches_` (spliced, not
   /// copied); `seal_staging()` keeps the two in global ingest order.
-  std::vector<Observation> staging_;
-  std::vector<std::vector<Observation>> staged_batches_;
-  void seal_staging();  ///< Move staging_ into staged_batches_ (mu_ held).
-  /// Finalized site-major columnar store.
+  std::vector<Observation> staging_ V6MON_GUARDED_BY(mu_);
+  std::vector<std::vector<Observation>> staged_batches_ V6MON_GUARDED_BY(mu_);
+  void seal_staging() V6MON_REQUIRES(mu_);  ///< Move staging_ into staged_batches_.
+  /// Finalized site-major columnar store. Published by finalize() (which
+  /// holds mu_ while rebuilding) and read lock-free afterwards: ingest
+  /// and analysis are separate phases — Campaign::finalize() is the
+  /// barrier — so these fields are intentionally NOT lock-annotated.
   ObservationColumns cols_;
   /// Dense index: site id -> slice of `cols_` ({0,0} = absent).
   struct SiteRef {
     std::uint32_t offset = 0;
     std::uint32_t count = 0;
   };
-  std::vector<SiteRef> site_index_;
-  std::vector<std::uint32_t> site_ids_;  ///< Sorted sites present.
-  std::vector<RoundCounters> rounds_;
-  bool finalized_ = false;
+  std::vector<SiteRef> site_index_;       ///< Phase-published (see cols_).
+  std::vector<std::uint32_t> site_ids_;   ///< Sorted sites present; phase-published.
+  std::vector<RoundCounters> rounds_ V6MON_GUARDED_BY(mu_);
+  bool finalized_ = false;  ///< Phase-published (see cols_).
 
-  RoundCounters& round_slot(std::uint32_t round);
+  RoundCounters& round_slot(std::uint32_t round) V6MON_REQUIRES(mu_);
   void write_rows_csv(std::ostream& out, const Observation* rows,
                       std::size_t n) const;
 };

@@ -2,11 +2,11 @@
 
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <span>
 #include <vector>
 
 #include "core/results.h"
+#include "util/thread_annotations.h"
 
 namespace v6mon::core {
 
@@ -158,11 +158,14 @@ class ShardedSinkBase : public ObservationSink {
     std::vector<PathId> remap_;
   };
 
-  Shard& shard_for_this_thread();
+  Shard& shard_for_this_thread() V6MON_EXCLUDES(shards_mu_);
 
   const std::uint64_t id_;  ///< Process-unique, keys the thread-local lane cache.
-  mutable std::mutex shards_mu_;  ///< Guards shard *creation* only.
-  std::deque<Shard> shards_;      ///< Deque: addresses stable as shards join.
+  /// Guards the shard *container* (creation/walk). Shard contents are
+  /// lane-private during an epoch and coordinator-owned during flush()
+  /// — that handoff is the sink's epoch contract, not a lock.
+  mutable util::Mutex shards_mu_;
+  std::deque<Shard> shards_ V6MON_GUARDED_BY(shards_mu_);  ///< Deque: addresses stable as shards join.
 };
 
 /// In-memory sharded backend: flush canonicalizes into the database's

@@ -16,6 +16,17 @@ constexpr std::uint8_t kTagObs = 0x02;
 constexpr std::uint8_t kTagCounters = 0x03;
 constexpr std::uint8_t kTagEnd = 0x04;
 
+/// Replay-side sanity caps. A spool is untrusted bytes (tests/fuzz/
+/// fuzz_spool.cpp), and ResultsDb sizes its round table and site index
+/// from the largest id it sees — without these caps a 40-byte file
+/// claiming round 2^32-1 makes finalize() resize to a 256 GB table.
+/// The limits are far above anything a real campaign writes (the paper
+/// catalog is 1M sites over ~370 rounds) but small enough that a
+/// hostile spool cannot cost more memory than its own byte count.
+constexpr std::uint32_t kMaxReplayHops = 1024;        ///< AS paths are dozens.
+constexpr std::uint32_t kMaxReplaySite = 1u << 24;    ///< 16M site ids.
+constexpr std::uint32_t kMaxReplayRound = 1u << 20;   ///< 1M rounds.
+
 std::uint32_t float_bits(float f) {
   std::uint32_t bits = 0;
   std::memcpy(&bits, &f, sizeof(bits));
@@ -187,6 +198,7 @@ void replay_spool(std::istream& in, ResultsDb& db) {
     switch (tag) {
       case kTagPathDef: {
         const std::uint32_t hops = r.u32();
+        if (hops > kMaxReplayHops) throw Error("spool: implausible path length");
         path_buf.clear();
         for (std::uint32_t i = 0; i < hops; ++i) path_buf.push_back(r.u32());
         spool_to_db.push_back(db.paths().intern(path_buf));
@@ -196,7 +208,13 @@ void replay_spool(std::istream& in, ResultsDb& db) {
         Observation o;
         o.site = r.u32();
         o.round = r.u32();
-        o.status = static_cast<MonitorStatus>(r.u8());
+        if (o.site > kMaxReplaySite) throw Error("spool: site id out of range");
+        if (o.round > kMaxReplayRound) throw Error("spool: round out of range");
+        const std::uint8_t status = r.u8();
+        if (status > static_cast<std::uint8_t>(MonitorStatus::kMeasured)) {
+          throw Error("spool: invalid observation status");
+        }
+        o.status = static_cast<MonitorStatus>(status);
         o.v4_speed_kBps = bits_float(r.u32());
         o.v6_speed_kBps = bits_float(r.u32());
         o.v4_samples = r.u16();
@@ -219,6 +237,7 @@ void replay_spool(std::istream& in, ResultsDb& db) {
       }
       case kTagCounters: {
         const std::uint32_t round = r.u32();
+        if (round > kMaxReplayRound) throw Error("spool: round out of range");
         RoundCounters delta;
         delta.listed = r.u64();
         delta.v4_only = r.u64();

@@ -98,6 +98,11 @@ class SpoolSink final : public ShardedSinkBase {
 /// path set; spool ids are re-interned into the database registry). The
 /// caller finalizes the database afterwards. Throws v6mon::Error on a
 /// malformed or truncated spool.
+///
+/// This is an untrusted-byte boundary (tests/fuzz/fuzz_spool.cpp):
+/// arbitrary input must either replay or throw — never crash, and never
+/// allocate out of proportion to the input (site/round/path-length
+/// fields are sanity-capped before they can size ResultsDb tables).
 void replay_spool(std::istream& in, ResultsDb& db);
 
 /// Convenience: open `path` and replay it. Throws v6mon::Error when the

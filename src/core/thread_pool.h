@@ -4,9 +4,10 @@
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/thread_annotations.h"
 
 namespace v6mon::core {
 
@@ -26,28 +27,30 @@ class ThreadPool {
   /// checked builds): the pool has not been shut down — submitting after
   /// `shutdown()` / during destruction is a programmer error, and silently
   /// dropping or running such a task would race the joining workers.
-  void submit(std::function<void()> task);
+  void submit(std::function<void()> task) V6MON_EXCLUDES(mu_);
 
   /// Block until the queue is drained and all workers are idle. Safe to
   /// call from several threads; returns when the pool is *momentarily*
   /// idle (concurrent producers can enqueue more work afterwards).
-  void wait_idle();
+  void wait_idle() V6MON_EXCLUDES(mu_);
 
   /// Drain remaining tasks and join all workers. Idempotent; called by the
   /// destructor. After shutdown, `submit` rejects new work.
-  void shutdown();
+  void shutdown() V6MON_EXCLUDES(mu_);
 
   [[nodiscard]] std::size_t thread_count() const { return workers_.size(); }
 
  private:
-  void worker_loop();
+  void worker_loop() V6MON_EXCLUDES(mu_);
 
-  std::mutex mu_;
+  util::Mutex mu_;
   std::condition_variable cv_task_;
   std::condition_variable cv_idle_;
-  std::deque<std::function<void()>> queue_;
-  std::size_t active_ = 0;
-  bool stop_ = false;
+  std::deque<std::function<void()>> queue_ V6MON_GUARDED_BY(mu_);
+  std::size_t active_ V6MON_GUARDED_BY(mu_) = 0;
+  bool stop_ V6MON_GUARDED_BY(mu_) = false;
+  /// Written once by the constructor before any worker runs, then only
+  /// joined; safe to read unlocked (thread_count, shutdown's join loop).
   std::vector<std::thread> workers_;
 };
 

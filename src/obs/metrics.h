@@ -6,12 +6,12 @@
 #include <cstdint>
 #include <deque>
 #include <iosfwd>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "util/table.h"
+#include "util/thread_annotations.h"
 
 /// Compile-time switch for the observability layer's recording hot paths.
 /// 1 (default) compiles them in; 0 turns every record call into a no-op
@@ -192,20 +192,24 @@ class MetricsRegistry {
   void add_slow(MetricId id, std::uint64_t delta);
   void observe_slow(MetricId hist, double seconds);
   void record_span_slow(Stage stage, std::uint64_t ns);
-  Shard& shard_for_this_thread();
+  Shard& shard_for_this_thread() V6MON_EXCLUDES(mu_);
   [[nodiscard]] static std::size_t bin_of_seconds(double seconds);
-  void merge_shards_locked();
+  void merge_shards_locked() V6MON_REQUIRES(mu_);
 
 #if V6MON_OBS_LEVEL >= 1
   std::atomic<bool> enabled_{false};
 #endif
   const std::uint64_t id_;  ///< Process-unique; keys the thread-local shard cache.
-  mutable std::mutex mu_;   ///< Guards names, gauges, totals, shard creation.
-  std::vector<std::string> counter_names_;
-  std::vector<std::string> hist_names_;
-  std::vector<std::pair<std::string, double>> gauges_;  ///< Sorted on export.
-  std::deque<Shard> shards_;  ///< Deque: addresses stable as shards join.
-  Totals totals_;
+  mutable util::Mutex mu_;  ///< Guards names, gauges, totals, shard creation.
+  std::vector<std::string> counter_names_ V6MON_GUARDED_BY(mu_);
+  std::vector<std::string> hist_names_ V6MON_GUARDED_BY(mu_);
+  std::vector<std::pair<std::string, double>> gauges_
+      V6MON_GUARDED_BY(mu_);  ///< Sorted on export.
+  /// Guards the shard *container*; each Shard's cells are relaxed
+  /// atomics written lock-free by their owning thread and drained by
+  /// merge_shards_locked() under mu_.
+  std::deque<Shard> shards_ V6MON_GUARDED_BY(mu_);
+  Totals totals_ V6MON_GUARDED_BY(mu_);
 };
 
 /// The process-wide registry every instrumented module records into.

@@ -2,7 +2,6 @@
 
 #include <cstring>
 #include <functional>
-#include <mutex>
 
 #include "obs/metrics.h"
 
@@ -45,7 +44,7 @@ PathCharacteristics PathCache::characteristics(
   const std::string key = key_of(as_path, family);
   Shard& shard = shards_[std::hash<std::string>{}(key) % kShards];
   {
-    std::shared_lock<std::shared_mutex> lock(shard.mu);
+    util::ReaderLockGuard lock(shard.mu);
     const auto it = shard.map.find(key);
     if (it != shard.map.end()) return it->second;
   }
@@ -54,7 +53,7 @@ PathCharacteristics PathCache::characteristics(
   PathCharacteristics pc = characterize_path(graph_, src_, as_path, family);
   pc.quality = path_quality(as_path, sigma_);
   {
-    std::unique_lock<std::shared_mutex> lock(shard.mu);
+    util::WriterLockGuard lock(shard.mu);
     const auto [it, inserted] = shard.map.try_emplace(key, pc);
     if (inserted) {
       misses_.fetch_add(1, std::memory_order_relaxed);
@@ -69,7 +68,7 @@ PathCache::Stats PathCache::stats() const {
   s.lookups = lookups_.load(std::memory_order_relaxed);
   s.misses = misses_.load(std::memory_order_relaxed);
   for (const Shard& shard : shards_) {
-    std::shared_lock<std::shared_mutex> lock(shard.mu);
+    util::ReaderLockGuard lock(shard.mu);
     s.entries += shard.map.size();
   }
   return s;

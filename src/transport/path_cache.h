@@ -3,12 +3,12 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
-#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "transport/path.h"
+#include "util/thread_annotations.h"
 
 namespace v6mon::transport {
 
@@ -55,8 +55,8 @@ class PathCache {
   static constexpr std::size_t kShards = 16;
 
   struct Shard {
-    mutable std::shared_mutex mu;
-    std::unordered_map<std::string, PathCharacteristics> map;
+    mutable util::SharedMutex mu;
+    std::unordered_map<std::string, PathCharacteristics> map V6MON_GUARDED_BY(mu);
   };
 
   static std::string key_of(const std::vector<topo::Asn>& as_path, ip::Family family);

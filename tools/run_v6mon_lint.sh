@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# v6mon-lint gate: the determinism checker (tools/v6mon_lint) must report
+# zero findings over src/, and its rule fixtures must all pass selftest.
+#
+# Usage:
+#   tools/run_v6mon_lint.sh [--selftest-only|--src-only]
+#
+# Environment:
+#   V6MON_LINT_PYTHON          interpreter to use (default: python3)
+#   V6MON_LINT_ALLOW_MISSING=1 exit 0 with a notice when no python3 is
+#                              installed (for stripped machines; CI never
+#                              sets this)
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+python="${V6MON_LINT_PYTHON:-python3}"
+linter="$repo_root/tools/v6mon_lint/v6mon_lint.py"
+
+run_selftest=1
+run_src=1
+for arg in "$@"; do
+  case "$arg" in
+    --selftest-only) run_src=0 ;;
+    --src-only) run_selftest=0 ;;
+    -h|--help) sed -n '2,12p' "${BASH_SOURCE[0]}"; exit 0 ;;
+    *) echo "run_v6mon_lint: unknown argument '$arg'" >&2; exit 2 ;;
+  esac
+done
+
+if ! command -v "$python" >/dev/null 2>&1; then
+  if [[ "${V6MON_LINT_ALLOW_MISSING:-0}" == "1" ]]; then
+    echo "run_v6mon_lint: '$python' not installed; skipping (V6MON_LINT_ALLOW_MISSING=1)" >&2
+    exit 0
+  fi
+  echo "run_v6mon_lint: '$python' not found. Install python3 or set V6MON_LINT_PYTHON." >&2
+  exit 2
+fi
+
+status=0
+if [[ $run_selftest == 1 ]]; then
+  echo "run_v6mon_lint: rule fixtures" >&2
+  "$python" "$linter" --selftest || status=1
+fi
+if [[ $run_src == 1 ]]; then
+  echo "run_v6mon_lint: src/ (zero-findings gate)" >&2
+  "$python" "$linter" --root "$repo_root" "$repo_root/src" || status=1
+fi
+if [[ $status -ne 0 ]]; then
+  echo "run_v6mon_lint: FAILED — the gate requires zero findings." >&2
+  exit 1
+fi
+echo "run_v6mon_lint: clean." >&2

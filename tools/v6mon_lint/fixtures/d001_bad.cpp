@@ -1,0 +1,24 @@
+// D001 fixture: iterating unordered containers. Each offending line
+// carries an EXPECT-LINT marker the selftest checks against.
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+struct Registry {
+  std::unordered_map<std::string, int> index;
+  std::unordered_set<int> members;
+};
+
+std::vector<std::string> dump(const Registry& r) {
+  std::vector<std::string> out;
+  std::unordered_map<std::string, int> index = r.index;
+  for (const auto& kv : index) {  // EXPECT-LINT: D001
+    out.push_back(kv.first);
+  }
+  std::unordered_set<int> members = r.members;
+  for (auto it = members.begin(); it != members.end(); ++it) {  // EXPECT-LINT: D001
+    out.push_back(std::to_string(*it));
+  }
+  return out;
+}

@@ -1,0 +1,21 @@
+// D001 clean fixture: lookups (never iteration), sorted maps, and a
+// justified suppression all pass.
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+struct Registry {
+  std::unordered_map<std::string, int> index;
+  std::map<std::string, int> sorted;
+};
+
+int total(const Registry& r) {
+  std::unordered_map<std::string, int> index = r.index;
+  int sum = index.count("a") ? index.at("a") : 0;  // lookup, not iteration
+  std::map<std::string, int> sorted = r.sorted;
+  for (const auto& kv : sorted) sum += kv.second;  // ordered container: fine
+  // V6MON_LINT_ALLOW(D001): summing values is order-free
+  for (const auto& kv : index) sum += kv.second;
+  return sum;
+}

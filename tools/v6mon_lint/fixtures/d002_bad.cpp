@@ -1,0 +1,19 @@
+// D002 fixture: entropy and clock reads. The selftest places fixtures
+// under a path treated as deterministic scope (the fixtures dir itself
+// is linted with every rule enabled, D002 included, because the
+// selftest anchors --root at the fixtures' parent... see selftest()).
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+unsigned entropy_soup() {
+  std::random_device rd;  // EXPECT-LINT: D002
+  unsigned x = rd();
+  x += static_cast<unsigned>(rand());  // EXPECT-LINT: D002
+  auto t = std::chrono::steady_clock::now();  // EXPECT-LINT: D002
+  x += static_cast<unsigned>(t.time_since_epoch().count());
+  if (getenv("V6MON_SECRET") != nullptr) x += 1;  // EXPECT-LINT: D002
+  x += static_cast<unsigned>(time(nullptr));  // EXPECT-LINT: D002
+  return x;
+}

@@ -1,0 +1,13 @@
+// D002 clean fixture: seeded RNG use and lookalike identifiers.
+#include <cstdint>
+
+struct Rng {
+  std::uint64_t state;
+  std::uint64_t next() { return state = state * 6364136223846793005ULL + 1; }
+};
+
+std::uint64_t draw(Rng& rng) { return rng.next(); }
+
+// Identifiers that merely contain banned substrings must not fire.
+int strand(int x) { return x + 1; }
+int operand_time(int timer) { return strand(timer); }

@@ -1,0 +1,14 @@
+// D003 fixture: pointer / iterator container keys.
+#include <map>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+struct Site {
+  std::string name;
+};
+
+std::map<const Site*, int> rank_by_site;  // EXPECT-LINT: D003
+std::unordered_map<Site*, int> hits;  // EXPECT-LINT: D003
+std::set<std::vector<int>::iterator> cursors;  // EXPECT-LINT: D003

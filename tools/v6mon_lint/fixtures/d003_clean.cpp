@@ -1,0 +1,13 @@
+// D003 clean fixture: stable-id keys, and pointers only as *values*.
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+
+struct Site {
+  std::string name;
+};
+
+std::map<std::uint32_t, int> rank_by_site_id;
+std::unordered_map<std::string, Site*> by_name;  // pointer value is fine
+std::map<std::pair<std::uint32_t, std::uint32_t>, double> by_edge;

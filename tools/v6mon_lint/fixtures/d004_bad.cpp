@@ -1,0 +1,14 @@
+// D004 fixture: mutable static / thread_local state.
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+static std::uint64_t call_count = 0;  // EXPECT-LINT: D004
+static std::atomic<std::uint64_t> next_id{1};  // EXPECT-LINT: D004
+thread_local std::string tl_scratch;  // EXPECT-LINT: D004
+
+std::uint64_t bump() {
+  static std::uint64_t local_counter = 0;  // EXPECT-LINT: D004
+  call_count += 1;
+  return ++local_counter;
+}

@@ -1,0 +1,17 @@
+// D004 clean fixture: constants, static functions, casts, and a
+// justified suppression.
+#include <cstdint>
+#include <string>
+
+static constexpr std::uint64_t kSeed = 2011;
+static const std::string kName = "v6mon";
+
+static std::uint64_t helper(std::uint64_t x) { return x * 2; }
+
+std::uint64_t run(double d) {
+  // static_cast must not trip the static trigger.
+  const auto n = static_cast<std::uint64_t>(d);
+  // V6MON_LINT_ALLOW(D004): monotonic id source; ordering never reaches output
+  static std::uint64_t next_id = 0;
+  return helper(n) + ++next_id;
+}

@@ -1,0 +1,14 @@
+// D005 fixture: floating-point reduction inside a parallel region.
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+void parallel_index(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+double total_latency(const std::vector<double>& samples) {
+  double sum = 0.0;
+  parallel_index(samples.size(), [&](std::size_t i) {
+    sum += samples[i];  // EXPECT-LINT: D005
+  });
+  return sum;
+}

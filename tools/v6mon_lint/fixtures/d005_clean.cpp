@@ -1,0 +1,26 @@
+// D005 clean fixture: the deterministic reduction shape — per-slot
+// partials written in parallel, folded sequentially in index order.
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+void parallel_index(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+double total_latency(const std::vector<double>& samples) {
+  std::vector<double> partial(samples.size(), 0.0);
+  parallel_index(samples.size(), [&](std::size_t i) {
+    partial[i] = samples[i];  // plain store into an owned slot
+  });
+  double sum = 0.0;
+  for (double p : partial) sum += p;  // sequential, index order
+  return sum;
+}
+
+// Integer reductions are associative — += on integers in a parallel
+// region is a D004/TSan question, not a D005 one.
+std::uint64_t total_count(const std::vector<std::uint64_t>& counts) {
+  std::uint64_t total = 0;
+  parallel_index(counts.size(), [&](std::size_t i) { total += counts[i]; });
+  return total;
+}
