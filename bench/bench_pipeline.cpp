@@ -29,9 +29,13 @@
 #include "analysis/report.h"
 #include "bgp/rib.h"
 #include "core/campaign.h"
+#include "core/monitor.h"
 #include "obs/metrics.h"
 #include "scenario/paper.h"
 #include "scenario/world_builder.h"
+#include "transport/download.h"
+#include "transport/path.h"
+#include "util/rng.h"
 
 namespace {
 
@@ -133,6 +137,32 @@ void BM_FullCampaign(benchmark::State& state) {
 BENCHMARK(BM_FullCampaign)->Arg(1)->Arg(8)->Unit(benchmark::kMillisecond)
     ->MinTime(1.0);
 
+/// The measurement kernel in isolation: one family's repeat-until-CI
+/// download loop (batched simulate + precomputed gate table), over a
+/// representative dual-stack path. Each iteration uses a fresh per-key
+/// RNG stream, like a (site, round) would.
+void BM_MeasureFamily(benchmark::State& state) {
+  const core::World& world = shared_world();
+  const core::CampaignConfig cfg = scenario::paper_campaign_config(bench_seed());
+  static const core::Monitor monitor(world, world.vantage_points.front(),
+                                     cfg.monitor);
+  transport::PathCharacteristics path;
+  path.valid = true;
+  path.rtt_ms = 120.0;
+  path.bottleneck_kBps = 400.0;
+  const transport::DownloadSimulator sim(cfg.monitor.download);
+  const transport::PreparedDownload prep = sim.prepare(path, 80.0, 300.0);
+  const util::Rng root(bench_seed());
+  transport::DownloadTally tally;
+  std::uint64_t key = 0;
+  for (auto _ : state) {
+    util::Rng rng = root.child("bench_mf", key++);
+    benchmark::DoNotOptimize(monitor.measure_family(prep, rng, tally));
+  }
+  benchmark::DoNotOptimize(tally.attempts);
+}
+BENCHMARK(BM_MeasureFamily)->Unit(benchmark::kMicrosecond);
+
 void BM_Analysis(benchmark::State& state) {
   const core::World& world = shared_world();
   // One campaign feeds every iteration: analysis is a pure read.
@@ -155,4 +185,14 @@ BENCHMARK(BM_Analysis)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Stamp the library-under-test build type into the JSON context: the
+  // stock "library_build_type" key describes libbenchmark (a system debug
+  // build here), so perf-smoke gates on this key instead.
+  benchmark::AddCustomContext("v6mon_build_type", V6MON_BENCH_BUILD_TYPE);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

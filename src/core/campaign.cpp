@@ -72,8 +72,26 @@ void Campaign::init_store(VpStore& store, std::size_t vp_index,
   V6MON_ENSURE(store.sink != nullptr, "unhandled sink backend");
 }
 
+Campaign::SiteScanIndex::SiteScanIndex(const web::SiteCatalog& catalog) {
+  const std::size_t n = catalog.size();
+  first_seen.reserve(n);
+  v6_from.reserve(n);
+  v6_until.reserve(n);
+  from_cache.reserve(n);
+  for (const web::Site& s : catalog.sites()) {
+    // The scan indexes columns by position; the catalog guarantees
+    // id == position, and everything here silently breaks if that drifts.
+    V6MON_REQUIRE(s.id == first_seen.size(), "site id != catalog position");
+    first_seen.push_back(s.first_seen_round);
+    v6_from.push_back(s.v6_from_round);
+    v6_until.push_back(s.v6_until_round);
+    from_cache.push_back(s.from_dns_cache ? 1 : 0);
+  }
+}
+
 Campaign::Campaign(const World& world, CampaignConfig config)
-    : world_(world), config_(resolve(std::move(config))), pool_(config_.threads) {
+    : world_(world), config_(resolve(std::move(config))), pool_(config_.threads),
+      scan_(world.catalog) {
   for (std::size_t vp = 0; vp < world_.vantage_points.size(); ++vp) {
     init_store(stores_.emplace_back(), vp, "");
     init_store(w6d_stores_.emplace_back(), vp, "_w6d");
@@ -86,9 +104,17 @@ void Campaign::run_sites(std::size_t vp_index, std::uint32_t round,
                          ObservationSink& sink, std::uint64_t salt) {
   V6MON_REQUIRE(vp_index < monitors_.size(), "vantage point index out of range");
   if (sites.empty()) return;
-  const Monitor& monitor = monitors_[vp_index];
+  Monitor& monitor = monitors_[vp_index];
   const web::CatalogDnsBackend backend(world_.catalog);
   const util::Rng root(config_.seed);
+
+  // Resolved-site table slot assignment is coordinator-only (we hold this
+  // VP's ingest-epoch mutex): column growth must not race the workers'
+  // lazy per-slot fills inside monitor_site below.
+  {
+    obs::TraceSpan span(obs::Stage::kSiteResolve);
+    monitor.assign_resolve_slots(sites, round);
+  }
 
   parallel_index(pool_, sites.size(), [&](std::size_t i) {
     // The worker's private lane: recording and counting touch no shared
@@ -99,7 +125,7 @@ void Campaign::run_sites(std::size_t vp_index, std::uint32_t round,
     // bounds or worker identity — so scheduling granularity is a pure
     // performance knob and threads=1 reproduces threads=N bit-for-bit.
     dns::Resolver resolver(backend, config_.monitor.dns,
-                           root.child("dns", salt ^ site.id));
+                           util::LazyRng(root.child_seed("dns", salt ^ site.id)));
     const std::uint64_t key =
         ((static_cast<std::uint64_t>(vp_index) * 4096 + round) << 32) |
         (site.id ^ salt);
@@ -153,22 +179,30 @@ void Campaign::run_round(std::size_t vp_index, std::uint32_t round) {
   std::vector<std::uint32_t> work;
   std::uint64_t listed = 0;
   std::uint64_t fast_pathed = 0;
-  for (const web::Site& s : world_.catalog.sites()) {
-    if (s.from_dns_cache && !vp.uses_dns_cache_supplement) continue;
-    if (!s.in_list_at(round)) continue;
+  // Columnar scan (same predicates as Site::in_list_at /
+  // Site::dual_stack_at, over the packed schedule copies): this loop
+  // touches every catalog site for every (vantage point, round) and is
+  // memory-bound, so it reads 13 bytes per site instead of the Site rows.
+  const std::size_t num_sites = scan_.first_seen.size();
+  for (std::uint32_t id = 0; id < num_sites; ++id) {
+    if (scan_.from_cache[id] != 0 && !vp.uses_dns_cache_supplement) continue;
+    if (round < scan_.first_seen[id]) continue;
     ++listed;
-    if (can_fast_path && !s.dual_stack_at(round)) {
-      lane.count(round, MonitorStatus::kV4Only);
+    if (can_fast_path &&
+        !(scan_.v6_from[id] != web::kNever && round >= scan_.v6_from[id] &&
+          round < scan_.v6_until[id])) {
       ++fast_pathed;
       continue;
     }
-    work.push_back(s.id);
+    work.push_back(id);
   }
   if (fast_pathed != 0) {
-    // Fast-pathed sites still count toward the status totals so metrics
-    // are invariant to the fast_path knob. Batched: the fast path covers
-    // the vast majority of the catalog, and a per-site add would cost
-    // more than the fast path itself.
+    // Fast-pathed sites still count toward the lane and status totals so
+    // outputs are invariant to the fast_path knob. Batched: the fast path
+    // covers the vast majority of the catalog, and per-site bookkeeping
+    // would cost more than the fast path itself — counters are additive,
+    // so one add of `fast_pathed` is byte-identical to that many adds.
+    lane.count_n(round, MonitorStatus::kV4Only, fast_pathed);
     obs::metrics().add(campaign_metric_ids().fast_path_sites, fast_pathed);
     obs::metrics().add(campaign_metric_ids().status_id(MonitorStatus::kV4Only),
                        fast_pathed);
@@ -206,6 +240,11 @@ void Campaign::run_w6d() {
     if (world_.vantage_points[vp].start_round > world_.w6d_round) continue;
     VpStore& store = w6d_stores_[vp];
     util::LockGuard epoch(store.epoch_mu);
+    // The monitor (and its resolved-site table) is shared with regular
+    // rounds, and run_sites below may grow the table: take the regular
+    // store's epoch mutex too, so all table mutation for this VP
+    // serializes on one lock order (w6d store first, regular store second).
+    util::LockGuard regular_epoch(stores_[vp].epoch_mu);
     for (std::size_t mini = 0; mini < config_.w6d_mini_rounds; ++mini) {
       // All mini-rounds happen at the W6D calendar round (same DNS state)
       // but with independent randomness. Each run_sites call is one

@@ -94,6 +94,21 @@ class Campaign {
     util::Mutex epoch_mu;
   };
 
+  /// Columnar copy of the three per-site schedule fields the round scan
+  /// needs (list churn, AAAA window, supplement membership). The scan
+  /// visits every catalog site once per (vantage point, round); reading
+  /// the full ~100-byte Site rows makes it a pure memory-bandwidth walk,
+  /// while these packed columns cut the traffic by ~8x. Built once at
+  /// construction from the immutable catalog; site id == index.
+  struct SiteScanIndex {
+    std::vector<std::uint32_t> first_seen;
+    std::vector<std::uint32_t> v6_from;
+    std::vector<std::uint32_t> v6_until;
+    std::vector<std::uint8_t> from_cache;
+
+    explicit SiteScanIndex(const web::SiteCatalog& catalog);
+  };
+
   /// Populate a freshly emplaced store in place (VpStore is immovable).
   void init_store(VpStore& store, std::size_t vp_index, const char* tag) const;
   void run_sites(std::size_t vp_index, std::uint32_t round,
@@ -115,6 +130,7 @@ class Campaign {
   std::deque<VpStore> stores_;
   std::deque<VpStore> w6d_stores_;
   std::vector<Monitor> monitors_;
+  SiteScanIndex scan_;
   bool finalized_ = false;
 };
 

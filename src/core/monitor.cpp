@@ -49,6 +49,26 @@ const MonitorMetricIds& monitor_metric_ids() {
   return ids;
 }
 
+/// Per-worker batch scratch for measure_family: overwritten in full by
+/// each simulate_batch call before being read, never escapes the call,
+/// and carries no state between samples — results stay a pure function
+/// of the per-(site, round) RNG stream.
+// V6MON_LINT_ALLOW(D004): worker-private sampling scratch; fully
+// rewritten before every read and never observable outside one
+// measure_family call, so it cannot carry cross-site or cross-thread
+// state into any output.
+thread_local std::vector<transport::DownloadResult> t_batch_scratch;
+
+/// RAII flush of locally accumulated download counters: monitor_site has
+/// many early returns, and every one must still publish the tally.
+struct TallyFlusher {
+  transport::DownloadTally tally;
+  TallyFlusher() = default;
+  TallyFlusher(const TallyFlusher&) = delete;
+  TallyFlusher& operator=(const TallyFlusher&) = delete;
+  ~TallyFlusher() { transport::DownloadSimulator::flush_tally(tally); }
+};
+
 }  // namespace
 
 Monitor::Monitor(const World& world, const VantagePoint& vp, MonitorConfig config)
@@ -58,24 +78,43 @@ Monitor::Monitor(const World& world, const VantagePoint& vp, MonitorConfig confi
       sim_(config.download),
       path_cache_(std::make_unique<transport::PathCache>(
           world.graph, vp.asn, config.path_quality_sigma)) {
+  // Validate before building the gate table: an out-of-domain confidence
+  // must surface as ConfigError, not as a contract violation inside
+  // student_t_critical.
   config_.validate();
+  gates_ = util::CiGateTable(config_.ci_rel, config_.confidence, config_.max_downloads);
+  resolved_ = ResolvedSiteTable(world_.catalog.size());
 }
 
 Monitor::FamilyMeasurement Monitor::measure_family(
-    const transport::PathCharacteristics& path, double page_kb, double server_rate,
-    util::Rng& rng) const {
+    const transport::PreparedDownload& prep, util::Rng& rng,
+    transport::DownloadTally& tally) const {
   FamilyMeasurement m;
   util::RunningStats times;
   std::size_t attempts = 0;
   const std::size_t max_attempts = config_.max_downloads + config_.fetch_retries;
+  std::vector<transport::DownloadResult>& scratch = t_batch_scratch;
+  if (scratch.size() < config_.min_downloads) scratch.resize(config_.min_downloads);
   while (attempts < max_attempts) {
-    ++attempts;
-    const auto dl = sim_.simulate(path, page_kb, server_rate, rng);
-    if (!dl.ok) continue;
-    times.add(dl.seconds);
+    // Below min_downloads no stopping check can fire, so those attempts
+    // run as one batch; the batch size is chosen so the sample count can
+    // only *reach* min_downloads on the batch's last attempt — the CI is
+    // checked at exactly the points the per-sample loop checked it, and
+    // the draw stream is n back-to-back simulate calls either way.
+    const std::size_t want = times.count() < config_.min_downloads
+                                 ? config_.min_downloads - times.count()
+                                 : 1;
+    const std::size_t batch = std::min(want, max_attempts - attempts);
+    const std::size_t ok = sim_.simulate_batch(
+        prep, batch, rng,
+        std::span<transport::DownloadResult>(scratch.data(), batch), tally);
+    attempts += batch;
+    if (ok == 0) continue;
+    for (std::size_t i = 0; i < batch; ++i) {
+      if (scratch[i].ok) times.add(scratch[i].seconds);
+    }
     if (times.count() >= config_.min_downloads) {
-      const bool ci_ok =
-          times.meets_relative_ci(config_.ci_rel, config_.confidence);
+      const bool ci_ok = gates_.meets(times);
       if (ci_ok || times.count() >= config_.max_downloads) {
         // The paper's CI loop can give up at the budget without reaching
         // the 10%-of-mean target; count those so campaigns can see how
@@ -88,7 +127,7 @@ Monitor::FamilyMeasurement Monitor::measure_family(
   if (times.count() < config_.min_downloads) return m;  // too many failures
   m.ok = true;
   m.mean_time_s = times.mean();
-  m.speed_kBps = page_kb / m.mean_time_s;
+  m.speed_kBps = prep.page_kb / m.mean_time_s;
   m.samples = static_cast<std::uint16_t>(times.count());
   // Fig. 2 loop postconditions: the sample budget was respected and the
   // derived speed is a usable number.
@@ -99,15 +138,96 @@ Monitor::FamilyMeasurement Monitor::measure_family(
   return m;
 }
 
+void Monitor::resolve_addresses(const ip::Ipv4Address& v4_addr,
+                                const ip::Ipv6Address& v6_addr, bool has_v6,
+                                ResolvedSiteRow& row) const {
+  row.v4_addr = v4_addr;
+  row.v6_addr = v6_addr;
+  row.v4_route = vp_.rib.lookup_v4(v4_addr);
+  row.v6_route = has_v6 ? vp_.rib.lookup_v6(v6_addr) : nullptr;
+  // Verdict precedence matches the original inline phase 2 exactly: null
+  // v4 route, null v6 route, 6to4 without a relay leg, invalid v4 path,
+  // invalid v6 path. Routes stay recorded even on failure — origins and
+  // AS paths of the reachable side are still reported.
+  if (row.v4_route == nullptr) {
+    row.gate = MonitorStatus::kV4DownloadFailed;
+    return;
+  }
+  if (row.v6_route == nullptr) {
+    row.gate = MonitorStatus::kV6DownloadFailed;
+    return;
+  }
+
+  // Characterization + quality are pure per (path, family): served from
+  // the per-VP cache, computed once per campaign. Local copies — the 6to4
+  // adjustment below is per-destination-address, not per-path.
+  row.v4_path = path_cache_->characteristics(row.v4_route->as_path, ip::Family::kIpv4);
+  row.v6_path = path_cache_->characteristics(row.v6_route->as_path, ip::Family::kIpv6);
+
+  // 6to4 anycast: the RIB's 2002::/16 route only reaches the relay — the
+  // AS path *looks* 1-2 hops long. Packets then ride the IPv4 underlay to
+  // the island; add that hidden leg's cost (the Table 7 artifact).
+  if (row.v6_path.valid && v6_addr.is_6to4()) {
+    const auto island = world_.origins.origin_v4(v6_addr.embedded_6to4_v4());
+    const topo::AsLink* tunnel = nullptr;
+    if (island.has_value()) {
+      for (const topo::Adjacency& adj : world_.graph.adjacencies(*island)) {
+        const topo::AsLink& l = world_.graph.link(adj.link_id);
+        if (l.v6_tunnel) {
+          tunnel = &l;
+          break;
+        }
+      }
+    }
+    if (tunnel == nullptr) {
+      row.gate = MonitorStatus::kV6DownloadFailed;  // no working relay leg
+      return;
+    }
+    row.v6_path.via_tunnel = true;
+    row.v6_path.rtt_ms +=
+        2.0 * (tunnel->metrics.latency_ms + tunnel->tunnel_extra_latency_ms);
+    row.v6_path.bottleneck_kBps =
+        std::min(row.v6_path.bottleneck_kBps,
+                 tunnel->metrics.bandwidth_kBps * tunnel->tunnel_bandwidth_factor);
+    row.v6_path.underlying_hops += tunnel->tunnel_underlying_hops;
+  }
+  if (!row.v4_path.valid) {
+    row.gate = MonitorStatus::kV4DownloadFailed;
+    return;
+  }
+  if (!row.v6_path.valid) {
+    row.gate = MonitorStatus::kV6DownloadFailed;
+    return;
+  }
+  row.gate = MonitorStatus::kMeasured;
+}
+
+void Monitor::assign_resolve_slots(std::span<const std::uint32_t> sites,
+                                   std::uint32_t round) {
+  for (const std::uint32_t id : sites) {
+    const web::Site& s = world_.catalog.site(id);
+    const std::uint8_t epoch = hosting_epoch(s, round);
+    if (resolved_.find(id, epoch) == ResolvedSiteTable::kNoSlot) {
+      resolved_.assign(s, epoch);
+    }
+  }
+}
+
 Observation Monitor::monitor_site(const web::Site& site, std::uint32_t round,
                                   dns::Resolver& resolver, util::Rng rng,
-                                  PathRegistry& paths) const {
+                                  PathRegistry& paths) {
   Observation obs;
   obs.site = site.id;
   obs.round = round;
 
   // --- Phase 1: randomized A / AAAA queries -----------------------------
-  const std::string host = site.hostname();
+  const std::uint32_t slot = resolved_.find(site.id, hosting_epoch(site, round));
+  const bool have_slot = slot != ResolvedSiteTable::kNoSlot;
+  // The hostname depends only on the site id; reuse the slot's cached
+  // string when one exists (one allocation per site-round otherwise).
+  std::string host_storage;
+  if (!have_slot) host_storage = site.hostname();
+  const std::string& host = have_slot ? resolved_.hostname(slot) : host_storage;
   // Order of the two queries is randomized like the tool randomizes its
   // site order; it has no observable effect here but keeps draw parity.
   const bool a_first = rng.chance(0.5);
@@ -142,8 +262,26 @@ Observation Monitor::monitor_site(const web::Site& site, std::uint32_t round,
   const ip::Ipv4Address v4_addr = a_res.records.front().a();
   const ip::Ipv6Address v6_addr = aaaa_res.records.front().aaaa();
 
-  const bgp::RibEntry* v4_route = vp_.rib.lookup_v4(v4_addr);
-  const bgp::RibEntry* v6_route = vp_.rib.lookup_v6(v6_addr);
+  // Served from the campaign-lifetime resolved-site table. The first
+  // time a site reaches this phase its row is resolved and filled right
+  // here — by the one worker monitoring the site this epoch, so fills
+  // never race — and later rounds reuse it after validating the
+  // DNS-returned addresses against the row (a mismatch falls back to
+  // inline resolution, keeping the cache a pure performance layer).
+  if (have_slot && !resolved_.filled(slot)) {
+    ResolvedSiteRow fresh;
+    resolve_addresses(v4_addr, v6_addr, /*has_v6=*/true, fresh);
+    resolved_.fill(slot, fresh);
+  }
+  ResolvedSiteRow local;
+  const bool row_matches = have_slot && resolved_.filled(slot) &&
+                           resolved_.v4_addr(slot) == v4_addr &&
+                           resolved_.v6_addr(slot) == v6_addr;
+  if (!row_matches) resolve_addresses(v4_addr, v6_addr, /*has_v6=*/true, local);
+
+  const MonitorStatus gate = row_matches ? resolved_.gate(slot) : local.gate;
+  const bgp::RibEntry* v4_route = row_matches ? resolved_.v4_route(slot) : local.v4_route;
+  const bgp::RibEntry* v6_route = row_matches ? resolved_.v6_route(slot) : local.v6_route;
   if (v4_route != nullptr) {
     obs.v4_origin = v4_route->origin;
     if (vp_.has_as_path) obs.v4_path = paths.intern(v4_route->as_path);
@@ -152,74 +290,43 @@ Observation Monitor::monitor_site(const web::Site& site, std::uint32_t round,
     obs.v6_origin = v6_route->origin;
     if (vp_.has_as_path) obs.v6_path = paths.intern(v6_route->as_path);
   }
-  if (v4_route == nullptr) {
-    obs.status = MonitorStatus::kV4DownloadFailed;
+  if (gate != MonitorStatus::kMeasured) {
+    obs.status = gate;
     return obs;
   }
-  if (v6_route == nullptr) {
-    obs.status = MonitorStatus::kV6DownloadFailed;
-    return obs;
-  }
-
-  // Characterization + quality are pure per (path, family): served from
-  // the per-VP cache, computed once per campaign. Local copies — the 6to4
-  // adjustment below is per-destination-address, not per-path.
-  auto v4_path = path_cache_->characteristics(v4_route->as_path, ip::Family::kIpv4);
-  auto v6_path = path_cache_->characteristics(v6_route->as_path, ip::Family::kIpv6);
-
-  // 6to4 anycast: the RIB's 2002::/16 route only reaches the relay — the
-  // AS path *looks* 1-2 hops long. Packets then ride the IPv4 underlay to
-  // the island; add that hidden leg's cost (the Table 7 artifact).
-  if (v6_path.valid && v6_addr.is_6to4()) {
-    const auto island = world_.origins.origin_v4(v6_addr.embedded_6to4_v4());
-    const topo::AsLink* tunnel = nullptr;
-    if (island.has_value()) {
-      for (const topo::Adjacency& adj : world_.graph.adjacencies(*island)) {
-        const topo::AsLink& l = world_.graph.link(adj.link_id);
-        if (l.v6_tunnel) {
-          tunnel = &l;
-          break;
-        }
-      }
-    }
-    if (tunnel == nullptr) {
-      obs.status = MonitorStatus::kV6DownloadFailed;  // no working relay leg
-      return obs;
-    }
-    v6_path.via_tunnel = true;
-    v6_path.rtt_ms +=
-        2.0 * (tunnel->metrics.latency_ms + tunnel->tunnel_extra_latency_ms);
-    v6_path.bottleneck_kBps =
-        std::min(v6_path.bottleneck_kBps,
-                 tunnel->metrics.bandwidth_kBps * tunnel->tunnel_bandwidth_factor);
-    v6_path.underlying_hops += tunnel->tunnel_underlying_hops;
-  }
-  if (!v4_path.valid) {
-    obs.status = MonitorStatus::kV4DownloadFailed;
-    return obs;
-  }
-  if (!v6_path.valid) {
-    obs.status = MonitorStatus::kV6DownloadFailed;
-    return obs;
-  }
+  const transport::PathCharacteristics& v4_path =
+      row_matches ? resolved_.v4_path(slot) : local.v4_path;
+  const transport::PathCharacteristics& v6_path =
+      row_matches ? resolved_.v6_path(slot) : local.v6_path;
 
   // --- Phase 3: identity check -------------------------------------------
-  // Sizes come back from the initial page fetch of each family.
-  const double v4_page = site.page_kb;
-  const double v6_page = site.page_kb * site.v6_page_ratio;
+  // Sizes come back from the initial page fetch of each family. The
+  // cached page/rate columns hold exactly the original per-round
+  // derivations (float->double conversions included).
+  const double v4_page = row_matches ? resolved_.v4_page(slot) : site.page_kb;
+  const double v6_page = row_matches ? resolved_.v6_page(slot)
+                                     : site.page_kb * site.v6_page_ratio;
   const double server_mult = site.server_multiplier_at(round);
-  const double v4_rate = site.server_rate_kBps * server_mult;
-  const double v6_rate = v4_rate * site.v6_server_factor;
+  const double v4_rate =
+      (row_matches ? resolved_.rate_base(slot) : site.server_rate_kBps) * server_mult;
+  const double v6_rate =
+      v4_rate * (row_matches ? resolved_.v6_rate_factor(slot) : site.v6_server_factor);
+
+  // Hoist the draw-independent download math; attempts/failures accumulate
+  // locally and flush once on every exit path.
+  const transport::PreparedDownload v4_prep = sim_.prepare(v4_path, v4_page, v4_rate);
+  const transport::PreparedDownload v6_prep = sim_.prepare(v6_path, v6_page, v6_rate);
+  TallyFlusher tally;
 
   bool v4_fetched = false, v6_fetched = false;
   {
     obs::TraceSpan span(obs::Stage::kIdentityFetch);
     for (std::size_t i = 0; i < config_.fetch_retries && !v4_fetched; ++i) {
-      v4_fetched = sim_.simulate(v4_path, v4_page, v4_rate, rng).ok;
+      v4_fetched = sim_.simulate_prepared(v4_prep, rng, tally.tally).ok;
     }
     if (v4_fetched) {
       for (std::size_t i = 0; i < config_.fetch_retries && !v6_fetched; ++i) {
-        v6_fetched = sim_.simulate(v6_path, v6_page, v6_rate, rng).ok;
+        v6_fetched = sim_.simulate_prepared(v6_prep, rng, tally.tally).ok;
       }
     }
   }
@@ -240,12 +347,12 @@ Observation Monitor::monitor_site(const web::Site& site, std::uint32_t round,
   // IPv4 first, then IPv6, as in the paper (each after cache resets, which
   // the simulator models by independent draws).
   obs::TraceSpan span(obs::Stage::kRepeatDownloads);
-  const FamilyMeasurement v4 = measure_family(v4_path, v4_page, v4_rate, rng);
+  const FamilyMeasurement v4 = measure_family(v4_prep, rng, tally.tally);
   if (!v4.ok) {
     obs.status = MonitorStatus::kV4DownloadFailed;
     return obs;
   }
-  const FamilyMeasurement v6 = measure_family(v6_path, v6_page, v6_rate, rng);
+  const FamilyMeasurement v6 = measure_family(v6_prep, rng, tally.tally);
   if (!v6.ok) {
     obs.status = MonitorStatus::kV6DownloadFailed;
     return obs;

@@ -1,7 +1,10 @@
 #pragma once
 
 #include <memory>
+#include <span>
+#include <vector>
 
+#include "core/resolved_site.h"
 #include "core/results.h"
 #include "core/vantage.h"
 #include "core/world.h"
@@ -9,6 +12,7 @@
 #include "transport/download.h"
 #include "transport/path_cache.h"
 #include "util/rng.h"
+#include "util/stats.h"
 #include "web/site.h"
 
 namespace v6mon::core {
@@ -64,10 +68,13 @@ class Monitor {
 
   /// Run the pipeline for one site at one round. The resolver carries the
   /// caller's DNS cache/failure state; `rng` must be dedicated to this
-  /// (site, round) so threading cannot reorder draws.
+  /// (site, round) so threading cannot reorder draws. Non-const because
+  /// it lazily fills the site's resolved-site row on first successful
+  /// resolution; safe to call concurrently for *distinct* sites (each
+  /// slot is touched by exactly one caller per ingest epoch).
   [[nodiscard]] Observation monitor_site(const web::Site& site, std::uint32_t round,
                                          dns::Resolver& resolver, util::Rng rng,
-                                         PathRegistry& paths) const;
+                                         PathRegistry& paths);
 
   [[nodiscard]] const MonitorConfig& config() const { return config_; }
   [[nodiscard]] const VantagePoint& vantage_point() const { return vp_; }
@@ -77,7 +84,36 @@ class Monitor {
     return path_cache_->stats();
   }
 
- private:
+  // --- Campaign-lifetime SoA site resolution (ISSUE 7) ------------------
+  //
+  // Everything monitor_site's phase 2 derives (RIB routes, characterized
+  // + 6to4-adjusted paths, the phase-2 verdict) is a pure function of the
+  // immutable world per (site, hosting epoch); resolving it once and
+  // reusing the row leaves only DNS draws and download sampling per
+  // round. Rows are filled *lazily*: the worker monitoring a site writes
+  // its row the first time the site's resolution actually runs, so no
+  // work is ever spent on sites that never reach phase 2. monitor_site
+  // validates each row against the DNS-returned addresses and falls back
+  // to inline resolution on mismatch, so the cache is a pure performance
+  // layer.
+  //
+  // Concurrency: assign_resolve_slots grows the table columns and must be
+  // serialized with every other use of this Monitor — Campaign holds the
+  // vantage point's ingest-epoch mutex across each round. The lazy fills
+  // are parallel-safe because a site appears at most once per work list,
+  // so each slot is written by exactly one worker per epoch, and the
+  // epoch's join barrier publishes rows to later rounds.
+
+  /// Coordinator-only: ensure table slots exist for `sites` (catalog site
+  /// ids) at `round` before workers run (column growth must not race the
+  /// lazy fills).
+  void assign_resolve_slots(std::span<const std::uint32_t> sites,
+                            std::uint32_t round);
+
+  [[nodiscard]] const ResolvedSiteTable& resolved_sites() const { return resolved_; }
+
+  /// Outcome of one family's repeat-until-CI download loop. Public only
+  /// for the measurement-kernel microbench and tests; not a stable API.
   struct FamilyMeasurement {
     bool ok = false;
     double mean_time_s = 0.0;
@@ -86,10 +122,22 @@ class Monitor {
   };
 
   /// Repeated downloads until the confidence target; nullopt-like failure
-  /// when too many attempts fail.
-  FamilyMeasurement measure_family(const transport::PathCharacteristics& path,
-                                   double page_kb, double server_rate,
-                                   util::Rng& rng) const;
+  /// when too many attempts fail. Batched kernel: samples come from
+  /// simulate_batch into per-worker scratch, the CI check is the
+  /// precomputed gate table, and attempt/failure counts accumulate in
+  /// `tally` (the caller flushes once). Public only for the microbench
+  /// and tests; not a stable API.
+  FamilyMeasurement measure_family(const transport::PreparedDownload& prep,
+                                   util::Rng& rng,
+                                   transport::DownloadTally& tally) const;
+
+ private:
+  /// Phase-2 resolution against explicit addresses (the row content
+  /// shared by table fills and the inline fallback). `has_v6` gates the
+  /// v6-side work for sites that never publish an AAAA.
+  void resolve_addresses(const ip::Ipv4Address& v4_addr,
+                         const ip::Ipv6Address& v6_addr, bool has_v6,
+                         ResolvedSiteRow& row) const;
 
   const World& world_;
   const VantagePoint& vp_;
@@ -100,6 +148,11 @@ class Monitor {
   /// Monitor (= the Campaign), matching the graph's immutability window.
   /// unique_ptr keeps Monitor movable (the cache holds mutexes).
   std::unique_ptr<transport::PathCache> path_cache_;
+  /// Precomputed CI stopping gates for (ci_rel, confidence) over
+  /// n in [2, max_downloads]; built after config validation.
+  util::CiGateTable gates_;
+  /// Write-once per-(site, hosting epoch) phase-2 rows; see class comment.
+  ResolvedSiteTable resolved_;
 };
 
 }  // namespace v6mon::core

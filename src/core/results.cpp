@@ -64,23 +64,23 @@ std::string PathRegistry::to_string(PathId id) const {
 
 // --- Counters ---------------------------------------------------------------
 
-void apply_status(RoundCounters& c, MonitorStatus status) {
+void apply_status(RoundCounters& c, MonitorStatus status, std::uint64_t n) {
   switch (status) {
-    case MonitorStatus::kDnsFailed: ++c.dns_failed; break;
-    case MonitorStatus::kV4Only: ++c.v4_only; break;
-    case MonitorStatus::kV6Only: ++c.v6_only; break;
+    case MonitorStatus::kDnsFailed: c.dns_failed += n; break;
+    case MonitorStatus::kV4Only: c.v4_only += n; break;
+    case MonitorStatus::kV6Only: c.v6_only += n; break;
     case MonitorStatus::kV4DownloadFailed:
     case MonitorStatus::kV6DownloadFailed:
-      ++c.dual;
-      ++c.download_failed;
+      c.dual += n;
+      c.download_failed += n;
       break;
     case MonitorStatus::kDifferentContent:
-      ++c.dual;
-      ++c.different_content;
+      c.dual += n;
+      c.different_content += n;
       break;
     case MonitorStatus::kMeasured:
-      ++c.dual;
-      ++c.measured;
+      c.dual += n;
+      c.measured += n;
       break;
   }
 }
@@ -163,9 +163,9 @@ RoundCounters& ResultsDb::round_slot(std::uint32_t round) {
   return rounds_[round];
 }
 
-void ResultsDb::count(std::uint32_t round, MonitorStatus status) {
+void ResultsDb::count(std::uint32_t round, MonitorStatus status, std::uint64_t n) {
   util::LockGuard lock(mu_);
-  apply_status(round_slot(round), status);
+  apply_status(round_slot(round), status, n);
 }
 
 void ResultsDb::count_listed(std::uint32_t round, std::uint64_t n) {

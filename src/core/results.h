@@ -130,10 +130,13 @@ inline RoundCounters& operator+=(RoundCounters& a, const RoundCounters& b) {
   return a;
 }
 
-/// Bucket one monitoring status into the round's counters — the single
-/// definition of the status→counter mapping, shared by the mutex store
-/// and every sink shard.
-void apply_status(RoundCounters& c, MonitorStatus status);
+/// Bucket `n` occurrences of one monitoring status into the round's
+/// counters — the single definition of the status→counter mapping,
+/// shared by the mutex store and every sink shard. The bulk form exists
+/// for the campaign fast path, which settles hundreds of thousands of
+/// v4-only sites per round: counters are additive, so one add of `n` is
+/// byte-identical to `n` adds of one.
+void apply_status(RoundCounters& c, MonitorStatus status, std::uint64_t n = 1);
 
 /// Columnar (struct-of-arrays) observation storage. Analysis passes scan
 /// one or two fields of millions of rows — laid out per column those
@@ -217,8 +220,9 @@ class ResultsDb {
   /// Record a full observation (dual-stack sites). Thread-safe.
   void add(const Observation& obs);
 
-  /// Bump per-round counters. Thread-safe.
-  void count(std::uint32_t round, MonitorStatus status);
+  /// Bump per-round counters (by `n` at once — one lock however many
+  /// sites are settled). Thread-safe.
+  void count(std::uint32_t round, MonitorStatus status, std::uint64_t n = 1);
   void count_listed(std::uint32_t round, std::uint64_t n);
 
   /// Bulk ingest from a sink merge: one lock for the whole batch. The

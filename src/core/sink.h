@@ -46,6 +46,13 @@ class ObservationSink {
     virtual void record(const Observation& obs) = 0;
     /// Bucket one monitoring status into the round's counters.
     virtual void count(std::uint32_t round, MonitorStatus status) = 0;
+    /// Bucket `n` occurrences at once (the campaign fast path settles
+    /// hundreds of thousands of v4-only sites per round; counters are
+    /// additive, so one bulk add is byte-identical to n single adds).
+    virtual void count_n(std::uint32_t round, MonitorStatus status,
+                         std::uint64_t n) {
+      for (; n != 0; --n) count(round, status);
+    }
   };
 
   ObservationSink() = default;
@@ -90,6 +97,10 @@ class MutexSink final : public ObservationSink {
     void record(const Observation& obs) override { db_->add(obs); }
     void count(std::uint32_t round, MonitorStatus status) override {
       db_->count(round, status);
+    }
+    void count_n(std::uint32_t round, MonitorStatus status,
+                 std::uint64_t n) override {
+      if (n != 0) db_->count(round, status, n);  // one lock for the batch
     }
     [[nodiscard]] ResultsDb& db() { return *db_; }
 
@@ -146,6 +157,12 @@ class ShardedSinkBase : public ObservationSink {
     void count(std::uint32_t round, MonitorStatus status) override {
       if (round >= counters_.size()) counters_.resize(round + 1);
       apply_status(counters_[round], status);
+    }
+    void count_n(std::uint32_t round, MonitorStatus status,
+                 std::uint64_t n) override {
+      if (n == 0) return;
+      if (round >= counters_.size()) counters_.resize(round + 1);
+      apply_status(counters_[round], status, n);
     }
 
    private:

@@ -23,8 +23,9 @@ const DnsMetricIds& dns_metric_ids() {
 
 }  // namespace
 
-Resolver::Resolver(const AuthoritativeSource& source, Options options, util::Rng rng)
-    : source_(source), options_(options), rng_(rng) {}
+Resolver::Resolver(const AuthoritativeSource& source, Options options,
+                   util::LazyRng rng)
+    : source_(source), options_(options), rng_(std::move(rng)) {}
 
 std::string Resolver::cache_key(std::string_view name, RecordType type) {
   std::string key(name);
@@ -49,7 +50,7 @@ QueryResult Resolver::resolve(std::string_view name, RecordType type,
     }
   }
 
-  if (options_.timeout_prob > 0.0 && rng_.chance(options_.timeout_prob)) {
+  if (options_.timeout_prob > 0.0 && rng_.get().chance(options_.timeout_prob)) {
     ++stats_.timeouts;
     obs::metrics().add(dns_metric_ids().timeouts);
     QueryResult r;

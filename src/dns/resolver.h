@@ -43,7 +43,11 @@ class Resolver {
     std::uint64_t nxdomain = 0;
   };
 
-  Resolver(const AuthoritativeSource& source, Options options, util::Rng rng);
+  /// `rng` drives timeout injection only; it is LazyRng so that the
+  /// common timeout_prob == 0 configuration never pays the engine
+  /// seeding (an eager util::Rng converts implicitly, engine state
+  /// preserved).
+  Resolver(const AuthoritativeSource& source, Options options, util::LazyRng rng);
 
   /// Resolve `name`/`type` as of measurement round `round`.
   QueryResult resolve(std::string_view name, RecordType type, std::uint32_t round);
@@ -61,7 +65,7 @@ class Resolver {
 
   const AuthoritativeSource& source_;
   Options options_;
-  util::Rng rng_;
+  util::LazyRng rng_;
   Stats stats_;
   std::unordered_map<std::string, CacheEntry> cache_;
 

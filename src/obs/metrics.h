@@ -24,7 +24,7 @@
 
 namespace v6mon::obs {
 
-/// The six pipeline stages a campaign spends its time in (ISSUE 4 /
+/// The pipeline stages a campaign spends its time in (ISSUE 4 /
 /// DESIGN.md §11). TraceSpan records wall time per stage; the stage set
 /// is fixed so per-stage slots can live in flat arrays on the hot path.
 enum class Stage : std::uint8_t {
@@ -34,8 +34,9 @@ enum class Stage : std::uint8_t {
   kRibBuild,         ///< BGP convergence + RIB insertion (world build).
   kIngestFlush,      ///< Round-boundary sink flush into the results store.
   kAnalysis,         ///< The Fig. 4 analysis pass over a finalized store.
+  kSiteResolve,      ///< Campaign-lifetime SoA site resolution (prefetch).
 };
-inline constexpr std::size_t kNumStages = 6;
+inline constexpr std::size_t kNumStages = 7;
 
 [[nodiscard]] constexpr const char* stage_name(Stage s) {
   switch (s) {
@@ -45,6 +46,7 @@ inline constexpr std::size_t kNumStages = 6;
     case Stage::kRibBuild: return "rib_build";
     case Stage::kIngestFlush: return "ingest_flush";
     case Stage::kAnalysis: return "analysis";
+    case Stage::kSiteResolve: return "site_resolve";
   }
   return "?";
 }

@@ -1,5 +1,9 @@
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
 #include "transport/path.h"
 #include "util/rng.h"
 
@@ -33,6 +37,27 @@ struct DownloadResult {
   }
 };
 
+/// Everything in `simulate` that does not depend on the per-sample draws,
+/// precomputed once per (site, family, round): `base_rate` folds the
+/// min(server rate, path bottleneck, window/RTT) and path-quality terms,
+/// `fixed_s` folds the fixed overhead + setup RTTs. An invalid path (or
+/// non-positive page/rate) yields `valid == false`, and every attempt
+/// against it fails without consuming draws — matching `simulate`.
+struct PreparedDownload {
+  bool valid = false;
+  double base_rate = 0.0;
+  double fixed_s = 0.0;
+  double page_kb = 0.0;
+};
+
+/// Locally accumulated attempt/failure totals. The per-sample metric adds
+/// in `simulate` were ~2 registry calls per download; batched callers
+/// accumulate here and flush once per measurement phase.
+struct DownloadTally {
+  std::uint64_t attempts = 0;
+  std::uint64_t failures = 0;
+};
+
 /// Closed-form single-flow download simulator.
 ///
 /// Effective transfer rate = min(server rate, path bottleneck,
@@ -48,6 +73,31 @@ class DownloadSimulator {
   [[nodiscard]] DownloadResult simulate(const PathCharacteristics& path,
                                         double page_kb, double server_rate_kBps,
                                         util::Rng& rng) const;
+
+  /// Hoist the draw-independent work out of the sampling loop.
+  [[nodiscard]] PreparedDownload prepare(const PathCharacteristics& path,
+                                         double page_kb,
+                                         double server_rate_kBps) const;
+
+  /// One attempt against a prepared download. Draw-for-draw and bit-for-bit
+  /// identical to `simulate` on the same inputs, but registry-free: totals
+  /// accumulate in `tally` (flush once with `flush_tally`).
+  [[nodiscard]] DownloadResult simulate_prepared(const PreparedDownload& prep,
+                                                 util::Rng& rng,
+                                                 DownloadTally& tally) const;
+
+  /// `n` attempts written to `out[0..n)`; returns the number of successes.
+  /// The draw stream is exactly `n` back-to-back `simulate` calls: the
+  /// general case keeps the per-attempt Bernoulli/lognormal interleaving,
+  /// while the failure_prob == 0 (pure lognormal block) and
+  /// noise_sigma == 0 (pure Bernoulli block) cases use the Rng block fills.
+  /// Requires out.size() >= n.
+  std::size_t simulate_batch(const PreparedDownload& prep, std::size_t n,
+                             util::Rng& rng, std::span<DownloadResult> out,
+                             DownloadTally& tally) const;
+
+  /// Flush locally accumulated totals to the metrics registry.
+  static void flush_tally(const DownloadTally& tally);
 
   [[nodiscard]] const DownloadParams& params() const { return params_; }
 

@@ -28,6 +28,10 @@ Rng Rng::child(std::string_view name, std::uint64_t index) const {
   return Rng(hash_combine(seed_, name, index));
 }
 
+std::uint64_t Rng::child_seed(std::string_view name, std::uint64_t index) const {
+  return hash_combine(seed_, name, index);
+}
+
 std::uint64_t Rng::uniform_u64(std::uint64_t lo, std::uint64_t hi) {
   assert(lo <= hi);
   return std::uniform_int_distribution<std::uint64_t>(lo, hi)(engine_);
@@ -69,6 +73,26 @@ double Rng::normal(double mean, double stddev) {
 double Rng::lognormal_median(double median, double sigma) {
   assert(median > 0.0);
   return std::lognormal_distribution<double>(std::log(median), sigma)(engine_);
+}
+
+void Rng::fill_lognormal_median(double median, double sigma, std::span<double> out) {
+  assert(median > 0.0);
+  const double mu = std::log(median);
+  for (double& x : out) {
+    x = std::lognormal_distribution<double>(mu, sigma)(engine_);
+  }
+}
+
+void Rng::fill_chance(double p, std::span<std::uint8_t> out) {
+  if (p <= 0.0) {
+    for (auto& b : out) b = 0;
+    return;
+  }
+  if (p >= 1.0) {
+    for (auto& b : out) b = 1;
+    return;
+  }
+  for (auto& b : out) b = uniform01() < p ? 1 : 0;
 }
 
 double Rng::exponential(double mean) {

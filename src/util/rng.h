@@ -1,11 +1,72 @@
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <optional>
 #include <random>
+#include <span>
 #include <string_view>
 #include <vector>
 
 namespace v6mon::util {
+
+/// MT19937-64 with lazy per-word generation. Produces the exact output
+/// sequence of std::mt19937_64 (same seeding recurrence, twist, and
+/// tempering — pinned against libstdc++ by the RNG tests), but runs the
+/// twist one word per draw instead of regenerating the whole 312-word
+/// block on the first draw after seeding. The monitoring hot path seeds
+/// a fresh per-(site, round) stream and consumes a few dozen words
+/// before discarding it; block regeneration would spend ~90% of its
+/// twist work on words nobody reads. Satisfies
+/// UniformRandomBitGenerator with the same min()/max() as
+/// std::mt19937_64, so <random> distributions over it draw identical
+/// values.
+class Mt64Engine {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Mt64Engine(result_type seed) {
+    state_[0] = seed;
+    for (std::uint32_t i = 1; i < kN; ++i) {
+      state_[i] = kInitMult * (state_[i - 1] ^ (state_[i - 1] >> 62)) + i;
+    }
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~result_type{0}; }
+
+  result_type operator()() {
+    const std::uint32_t i = next_;
+    next_ = i + 1 == kN ? 0 : i + 1;
+    // In-place single-step twist, equivalent to full-block regeneration:
+    // position i reads positions i+1 and i+m (mod n), which the block
+    // loop has either already rewritten (indices below i) or not yet
+    // touched (indices above i) — exactly the values this stepwise
+    // update sees, so the state after any k draws matches the block
+    // implementation word for word.
+    const result_type y = (state_[i] & kUpperMask) |
+                          (state_[i + 1 == kN ? 0 : i + 1] & kLowerMask);
+    result_type z = state_[i >= kN - kM ? i - (kN - kM) : i + kM] ^ (y >> 1) ^
+                    ((y & 1u) != 0 ? kMatrixA : 0);
+    state_[i] = z;
+    z ^= (z >> 29) & 0x5555555555555555ULL;
+    z ^= (z << 17) & 0x71d67fffeda60000ULL;
+    z ^= (z << 37) & 0xfff7eee000000000ULL;
+    z ^= z >> 43;
+    return z;
+  }
+
+ private:
+  static constexpr std::uint32_t kN = 312;
+  static constexpr std::uint32_t kM = 156;
+  static constexpr result_type kMatrixA = 0xb5026f5aa96619e9ULL;
+  static constexpr result_type kUpperMask = 0xffffffff80000000ULL;
+  static constexpr result_type kLowerMask = 0x7fffffffULL;
+  static constexpr result_type kInitMult = 6364136223846793005ULL;
+
+  std::array<std::uint64_t, kN> state_;
+  std::uint32_t next_ = 0;
+};
 
 /// Deterministic random number source.
 ///
@@ -22,6 +83,13 @@ class Rng {
   /// Derive an independent child stream keyed by `name` (and an optional
   /// integer discriminator, e.g. a round or site index).
   [[nodiscard]] Rng child(std::string_view name, std::uint64_t index = 0) const;
+
+  /// Seed of the stream `child(name, index)` would produce, without the
+  /// engine seeding: `Rng(child_seed(...))` and `child(...)` are
+  /// bit-identical streams. Pairs with LazyRng for consumers that
+  /// usually never draw.
+  [[nodiscard]] std::uint64_t child_seed(std::string_view name,
+                                         std::uint64_t index = 0) const;
 
   /// The seed this stream was constructed with.
   [[nodiscard]] std::uint64_t seed() const { return seed_; }
@@ -46,6 +114,18 @@ class Rng {
   /// Lognormal draw parameterized by the *target* median and the sigma of
   /// the underlying normal. median = exp(mu).
   double lognormal_median(double median, double sigma);
+
+  /// Block fill: out[i] is the i-th draw of `lognormal_median(median, sigma)`.
+  /// Consumes engine draws in exactly the order of the equivalent scalar
+  /// loop — bit-for-bit identical streams, pinned by the RNG sequence test.
+  /// (Each element uses a fresh distribution object on purpose: the polar
+  /// method caches a second normal inside the distribution, and the scalar
+  /// call discards that cache every time.)
+  void fill_lognormal_median(double median, double sigma, std::span<double> out);
+
+  /// Block fill of Bernoulli trials: out[i] = chance(p) ? 1 : 0. Consumes
+  /// no draws when p <= 0 or p >= 1, exactly like the scalar call.
+  void fill_chance(double p, std::span<std::uint8_t> out);
 
   /// Exponential draw with the given mean.
   double exponential(double mean);
@@ -75,11 +155,36 @@ class Rng {
   }
 
   /// Access to the raw engine, for interoperating with <random>.
-  std::mt19937_64& engine() { return engine_; }
+  Mt64Engine& engine() { return engine_; }
 
  private:
   std::uint64_t seed_;
-  std::mt19937_64 engine_;
+  Mt64Engine engine_;
+};
+
+/// Deferred-seeding handle on an Rng stream: holds only the 64-bit seed
+/// and constructs the engine (a ~2.5 KB MT19937-64 seeding, the expensive
+/// part) on first use. For consumers that usually never draw — e.g. a
+/// resolver whose timeout injection is off — stream setup drops from a
+/// full seeding to one hash. `LazyRng(seed).get()` is bit-identical to
+/// `Rng(seed)`; adopting an existing Rng preserves its engine state,
+/// already-consumed draws included.
+class LazyRng {
+ public:
+  explicit LazyRng(std::uint64_t seed) : seed_(seed) {}
+  /*implicit*/ LazyRng(Rng rng) : seed_(rng.seed()), rng_(std::move(rng)) {}
+
+  [[nodiscard]] std::uint64_t seed() const { return seed_; }
+
+  /// The underlying stream, seeded on first call.
+  [[nodiscard]] Rng& get() {
+    if (!rng_.has_value()) rng_.emplace(seed_);
+    return *rng_;
+  }
+
+ private:
+  std::uint64_t seed_;
+  std::optional<Rng> rng_;
 };
 
 /// Stable 64-bit FNV-1a hash used for seed derivation (not cryptographic).

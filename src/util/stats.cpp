@@ -70,6 +70,38 @@ bool RunningStats::meets_relative_ci(double rel, double confidence) const {
   return relative_ci_halfwidth(confidence) <= rel;
 }
 
+CiGateTable::CiGateTable(double rel, double confidence, std::size_t max_n)
+    : rel_(rel), rel2_(rel * rel), confidence_(confidence) {
+  V6MON_REQUIRE(rel > 0.0, "CI gate tolerance must be positive");
+  V6MON_REQUIRE(confidence > 0.0 && confidence < 1.0,
+                "confidence level must be in (0, 1)");
+  V6MON_REQUIRE(max_n >= 2, "CI gate table needs at least n = 2");
+  gate2_.reserve(max_n - 1);
+  for (std::size_t n = 2; n <= max_n; ++n) {
+    const double g =
+        student_t_critical(confidence, n - 1) / std::sqrt(static_cast<double>(n));
+    gate2_.push_back(g * g);
+  }
+}
+
+bool CiGateTable::meets(std::size_t n, double mean, double m2) const {
+  if (n < 2) return false;                 // CI half-width is +inf
+  if (std::fabs(mean) == 0.0) return false;  // relative half-width is +inf
+  if (n - 2 < gate2_.size()) {
+    return gate2_[n - 2] * m2 <= rel2_ * mean * mean * static_cast<double>(n - 1);
+  }
+  // Cold fallback for n beyond the tabulated range (never hit by the
+  // measurement loop, which caps at max_downloads).
+  const double t = student_t_critical(confidence_, n - 1);
+  const double g = t / std::sqrt(static_cast<double>(n));
+  return g * g * m2 <= rel2_ * mean * mean * static_cast<double>(n - 1);
+}
+
+double CiGateTable::gate(std::size_t n) const {
+  V6MON_REQUIRE(n >= 2 && n - 2 < gate2_.size(), "gate index out of range");
+  return std::sqrt(gate2_[n - 2]);
+}
+
 namespace {
 
 // Two-sided critical values, df 1..30.
@@ -117,15 +149,30 @@ double student_t_critical(double confidence, std::size_t df) {
   return z + (z3 + z) / (4.0 * d) + (5.0 * z5 + 16.0 * z3 + 3.0 * z) / (96.0 * d * d);
 }
 
-std::optional<double> quantile(std::vector<double> values, double q) {
-  if (values.empty()) return std::nullopt;
+double quantile_inplace(std::span<double> values, double q) {
+  V6MON_REQUIRE(!values.empty(), "quantile_inplace requires a non-empty span");
   q = std::clamp(q, 0.0, 1.0);
-  std::sort(values.begin(), values.end());
   const double pos = q * static_cast<double>(values.size() - 1);
   const auto lo = static_cast<std::size_t>(pos);
-  const std::size_t hi = std::min(lo + 1, values.size() - 1);
   const double frac = pos - static_cast<double>(lo);
-  return values[lo] * (1.0 - frac) + values[hi] * frac;
+  const auto lo_it = values.begin() + static_cast<std::ptrdiff_t>(lo);
+  std::nth_element(values.begin(), lo_it, values.end());
+  const double lo_v = *lo_it;
+  double hi_v = lo_v;
+  if (frac > 0.0 && lo + 1 < values.size()) {
+    // The sorted element at lo+1 is the minimum of the upper partition.
+    hi_v = *std::min_element(lo_it + 1, values.end());
+  }
+  return lo_v * (1.0 - frac) + hi_v * frac;
+}
+
+double median_inplace(std::span<double> values) {
+  return quantile_inplace(values, 0.5);
+}
+
+std::optional<double> quantile(std::vector<double> values, double q) {
+  if (values.empty()) return std::nullopt;
+  return quantile_inplace(std::span<double>(values), q);
 }
 
 std::optional<double> median(std::vector<double> values) {

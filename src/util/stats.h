@@ -3,6 +3,7 @@
 #include <cstddef>
 #include <limits>
 #include <optional>
+#include <span>
 #include <vector>
 
 namespace v6mon::util {
@@ -41,6 +42,11 @@ class RunningStats {
   /// `rel` (e.g. 0.10) of the mean at the given confidence.
   [[nodiscard]] bool meets_relative_ci(double rel, double confidence = 0.95) const;
 
+  /// Raw sum of squared deviations (Welford M2); never negative. Exposed so
+  /// precomputed-gate callers (CiGateTable) can test the CI without the
+  /// sqrt/stddev chain.
+  [[nodiscard]] double m2() const { return m2_; }
+
  private:
   std::size_t n_ = 0;
   double mean_ = 0.0;
@@ -49,14 +55,69 @@ class RunningStats {
   double max_ = -std::numeric_limits<double>::infinity();
 };
 
+/// Precomputed relative-CI acceptance gates for a fixed (rel, confidence)
+/// pair over sample counts n in [2, max_n].
+///
+/// The stopping rule `t(conf, n-1) * sqrt(m2 / (n-1)) / sqrt(n) <= rel * |mean|`
+/// is equivalent (both sides non-negative, squaring is monotonic) to
+///
+///   gate2[n] * m2 <= rel^2 * mean^2 * (n-1),   gate[n] = t(conf, n-1)/sqrt(n)
+///
+/// so the hot-path check is one table load, three multiplies and a compare —
+/// no per-sample `student_t_critical`, `stddev` or `stderror` calls. The
+/// squared form is pinned against `RunningStats::meets_relative_ci` by tests
+/// and by the campaign byte-identity matrix.
+class CiGateTable {
+ public:
+  /// Empty table: `meets` falls back to on-the-fly computation with the
+  /// default confidence. Real users construct via the main constructor.
+  CiGateTable() = default;
+
+  /// Tabulates gates for n in [2, max_n]. `rel` must be > 0, `confidence`
+  /// in (0, 1) — enforced via contracts.
+  CiGateTable(double rel, double confidence, std::size_t max_n);
+
+  /// The paper's acceptance test over running-stat state: true when the
+  /// relative CI half-width of `n` samples with the given `mean` and Welford
+  /// `m2` is within `rel` of the mean. n < 2 or mean == 0 never meet.
+  [[nodiscard]] bool meets(std::size_t n, double mean, double m2) const;
+
+  [[nodiscard]] bool meets(const RunningStats& s) const {
+    return meets(s.count(), s.mean(), s.m2());
+  }
+
+  /// Tabulated gate value t(confidence, n-1) / sqrt(n); used by equivalence
+  /// tests. Requires 2 <= n <= max_n.
+  [[nodiscard]] double gate(std::size_t n) const;
+
+  [[nodiscard]] double rel() const { return rel_; }
+  [[nodiscard]] double confidence() const { return confidence_; }
+  [[nodiscard]] std::size_t max_n() const { return gate2_.size() + 1; }
+
+ private:
+  double rel_ = 0.0;
+  double rel2_ = 0.0;
+  double confidence_ = 0.95;
+  std::vector<double> gate2_;  // gate2_[n - 2] = (t(conf, n-1) / sqrt(n))^2
+};
+
 /// Two-sided Student-t critical value for the given confidence level and
 /// degrees of freedom. Exact table for small df, normal approximation with
 /// a correction term for large df. Supported confidence levels: 0.90,
 /// 0.95, 0.99 (others fall back to 0.95).
 [[nodiscard]] double student_t_critical(double confidence, std::size_t df);
 
+/// Exact sample quantile (linear interpolation, type 7) over a mutable
+/// span; `q` in [0,1]. O(n) selection via `nth_element` — partially
+/// reorders `values` instead of copying and sorting. Requires non-empty.
+[[nodiscard]] double quantile_inplace(std::span<double> values, double q);
+
+/// Median convenience wrapper over `quantile_inplace`.
+[[nodiscard]] double median_inplace(std::span<double> values);
+
 /// Exact sample quantile (linear interpolation, type 7). `q` in [0,1].
-/// Returns nullopt on empty input. O(n log n): copies and sorts.
+/// Returns nullopt on empty input. Copying wrapper over `quantile_inplace`;
+/// callers that already own a scratch buffer should use the span form.
 [[nodiscard]] std::optional<double> quantile(std::vector<double> values, double q);
 
 /// Median convenience wrapper over `quantile`.

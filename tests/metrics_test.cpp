@@ -129,7 +129,8 @@ TEST(Metrics, CountersJsonIsSortedAndCoversAllStages) {
        {"campaign.sites_monitored", "dns.queries", "ingest.flushes",
         "monitor.ci_exhausted", "stage.analysis.calls", "stage.dns_resolve.calls",
         "stage.identity_fetch.calls", "stage.ingest_flush.calls",
-        "stage.repeat_downloads.calls", "stage.rib_build.calls"}) {
+        "stage.repeat_downloads.calls", "stage.rib_build.calls",
+        "stage.site_resolve.calls"}) {
     const std::size_t pos = json.find(std::string("\"") + key + "\"");
     ASSERT_NE(pos, std::string::npos) << key;
     EXPECT_GT(pos, prev_pos) << key << " breaks sorted order";

@@ -2,8 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
+#include <vector>
 
 #include "util/rng.h"
 
@@ -219,6 +221,101 @@ TEST(RunningStats, CiCoverageProperty) {
   }
   const double coverage = static_cast<double>(covered) / trials;
   EXPECT_NEAR(coverage, 0.95, 0.02);
+}
+
+TEST(CiGateTable, GateMatchesStudentTMath) {
+  // The tabulated gate is exactly t(conf, n-1) / sqrt(n) for every n the
+  // measurement loop can reach, at every confidence the t-table supports.
+  for (const double confidence : {0.90, 0.95, 0.99}) {
+    const CiGateTable table(0.10, confidence, 30);
+    for (std::size_t n = 2; n <= 30; ++n) {
+      const double expected = student_t_critical(confidence, n - 1) /
+                              std::sqrt(static_cast<double>(n));
+      EXPECT_DOUBLE_EQ(table.gate(n), expected)
+          << "conf=" << confidence << " n=" << n;
+    }
+  }
+}
+
+TEST(CiGateTable, MeetsAgreesWithRunningStats) {
+  // Drive noisy running stats through every tabulated n and check the
+  // squared-form gate agrees with the sqrt/t-table acceptance rule at
+  // tight, paper-default, and loose tolerances.
+  for (const double confidence : {0.90, 0.95, 0.99}) {
+    for (const double rel : {0.02, 0.10, 0.50}) {
+      const CiGateTable table(rel, confidence, 30);
+      Rng rng(1234);
+      RunningStats s;
+      s.add(rng.lognormal_median(1.0, 0.3));
+      for (std::size_t n = 2; n <= 30; ++n) {
+        s.add(rng.lognormal_median(1.0, 0.3));
+        ASSERT_EQ(s.count(), n);
+        EXPECT_EQ(table.meets(s), s.meets_relative_ci(rel, confidence))
+            << "conf=" << confidence << " rel=" << rel << " n=" << n;
+      }
+    }
+  }
+}
+
+TEST(CiGateTable, EdgeCases) {
+  const CiGateTable table(0.10, 0.95, 30);
+  EXPECT_EQ(table.max_n(), 30u);
+  EXPECT_DOUBLE_EQ(table.rel(), 0.10);
+  EXPECT_DOUBLE_EQ(table.confidence(), 0.95);
+  // Fewer than two samples or a zero mean: the relative CI half-width is
+  // +inf, so the gate never opens.
+  EXPECT_FALSE(table.meets(0, 1.0, 0.0));
+  EXPECT_FALSE(table.meets(1, 1.0, 0.0));
+  EXPECT_FALSE(table.meets(5, 0.0, 1.0));
+  // Identical samples (m2 == 0) meet as soon as n == 2.
+  EXPECT_TRUE(table.meets(2, 3.0, 0.0));
+  // n beyond the tabulated range takes the cold fallback and still agrees
+  // with the direct computation.
+  RunningStats s;
+  Rng rng(7);
+  for (int i = 0; i < 40; ++i) s.add(rng.lognormal_median(1.0, 0.2));
+  ASSERT_GT(s.count(), table.max_n());
+  EXPECT_EQ(table.meets(s), s.meets_relative_ci(0.10, 0.95));
+}
+
+/// Sort-based type-7 quantile oracle, mirroring the interpolation formula.
+double sorted_quantile(std::vector<double> v, double q) {
+  std::sort(v.begin(), v.end());
+  q = std::clamp(q, 0.0, 1.0);
+  const double pos = q * static_cast<double>(v.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(lo);
+  const double lo_v = v[lo];
+  const double hi_v = (frac > 0.0 && lo + 1 < v.size()) ? v[lo + 1] : lo_v;
+  return lo_v * (1.0 - frac) + hi_v * frac;
+}
+
+TEST(QuantileInplace, MatchesSortedOracle) {
+  Rng rng(42);
+  for (const std::size_t size : {1u, 2u, 3u, 17u, 100u}) {
+    std::vector<double> values;
+    values.reserve(size);
+    for (std::size_t i = 0; i < size; ++i) values.push_back(rng.uniform(-50.0, 50.0));
+    for (const double q : {0.0, 0.1, 0.25, 0.5, 0.9, 0.95, 1.0}) {
+      std::vector<double> scratch = values;
+      EXPECT_DOUBLE_EQ(quantile_inplace(scratch, q), sorted_quantile(values, q))
+          << "size=" << size << " q=" << q;
+    }
+    std::vector<double> scratch = values;
+    EXPECT_DOUBLE_EQ(median_inplace(scratch), sorted_quantile(values, 0.5));
+    // The copying wrapper agrees with the span form and leaves its input alone.
+    const std::vector<double> before = values;
+    EXPECT_DOUBLE_EQ(*quantile(values, 0.25), sorted_quantile(values, 0.25));
+    EXPECT_EQ(values, before);
+  }
+}
+
+TEST(QuantileInplace, DuplicatesAndOutOfRangeQ) {
+  std::vector<double> ties{2.0, 2.0, 2.0, 7.0, 7.0};
+  EXPECT_DOUBLE_EQ(quantile_inplace(ties, 0.5), 2.0);
+  std::vector<double> v{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(quantile_inplace(v, -0.5), 1.0);  // q clamps to [0, 1]
+  EXPECT_DOUBLE_EQ(quantile_inplace(v, 1.5), 3.0);
 }
 
 }  // namespace

@@ -208,5 +208,98 @@ TEST(DownloadSimulator, TunnelArtifactProperty) {
   EXPECT_GT(native_speed, tunnel_speed * 1.3);
 }
 
+/// A realistic dual-stack-ish path for the batch-equivalence tests.
+PathCharacteristics batch_test_path() {
+  PathCharacteristics pc;
+  pc.valid = true;
+  pc.rtt_ms = 80.0;
+  pc.bottleneck_kBps = 400.0;
+  pc.quality = 0.9;
+  return pc;
+}
+
+/// simulate_batch must be draw-for-draw and bit-for-bit identical to n
+/// back-to-back simulate() calls on a same-seeded Rng — that equality is
+/// what lets the monitor batch the download loop without perturbing the
+/// campaign byte-identity contract. Checked across all four kernel
+/// branches (interleaved, pure-lognormal block, pure-Bernoulli block,
+/// fully deterministic), with n crossing the internal chunk size.
+TEST(DownloadSimulator, BatchMatchesPerCallSimulate) {
+  struct Case {
+    const char* name;
+    double failure_prob;
+    double noise_sigma;
+  };
+  for (const Case c : {Case{"interleaved", 0.3, 0.12},
+                       Case{"lognormal_block", 0.0, 0.12},
+                       Case{"bernoulli_block", 0.3, 0.0},
+                       Case{"deterministic", 0.0, 0.0}}) {
+    DownloadParams params;
+    params.failure_prob = c.failure_prob;
+    params.noise_sigma = c.noise_sigma;
+    const DownloadSimulator sim(params);
+    const PathCharacteristics path = batch_test_path();
+    const double page_kb = 30.0;
+    const double server_rate = 90.0;
+    const PreparedDownload prep = sim.prepare(path, page_kb, server_rate);
+    ASSERT_TRUE(prep.valid);
+
+    constexpr std::size_t kAttempts = 50;  // crosses the 32-wide chunk
+    util::Rng batch_rng(5);
+    util::Rng scalar_rng(5);
+    DownloadResult out[kAttempts];
+    DownloadTally tally;
+    const std::size_t ok = sim.simulate_batch(prep, kAttempts, batch_rng, out, tally);
+
+    std::size_t scalar_ok = 0;
+    for (std::size_t i = 0; i < kAttempts; ++i) {
+      const DownloadResult ref = sim.simulate(path, page_kb, server_rate, scalar_rng);
+      ASSERT_EQ(out[i].ok, ref.ok) << c.name << " attempt " << i;
+      ASSERT_EQ(out[i].seconds, ref.seconds) << c.name << " attempt " << i;
+      ASSERT_EQ(out[i].kbytes, ref.kbytes) << c.name << " attempt " << i;
+      scalar_ok += ref.ok ? 1 : 0;
+    }
+    EXPECT_EQ(ok, scalar_ok) << c.name;
+    EXPECT_EQ(tally.attempts, kAttempts) << c.name;
+    EXPECT_EQ(tally.failures, kAttempts - ok) << c.name;
+    // Streams stay aligned: the next draw after the batch matches the
+    // next draw after the scalar loop.
+    EXPECT_EQ(batch_rng.uniform_u64(0, ~std::uint64_t{0}),
+              scalar_rng.uniform_u64(0, ~std::uint64_t{0}))
+        << c.name;
+  }
+}
+
+TEST(DownloadSimulator, BatchInvalidPrepFailsWithoutDraws) {
+  const DownloadSimulator sim(DownloadParams{});
+  const PreparedDownload invalid;  // valid == false
+  util::Rng rng(3);
+  util::Rng untouched(3);
+  DownloadResult out[8];
+  DownloadTally tally;
+  EXPECT_EQ(sim.simulate_batch(invalid, 8, rng, out, tally), 0u);
+  for (const DownloadResult& r : out) EXPECT_FALSE(r.ok);
+  EXPECT_EQ(tally.attempts, 8u);
+  EXPECT_EQ(tally.failures, 8u);
+  EXPECT_EQ(rng.uniform_u64(0, ~std::uint64_t{0}),
+            untouched.uniform_u64(0, ~std::uint64_t{0}));
+}
+
+TEST(DownloadSimulator, BatchCertainFailureConsumesNoDraws) {
+  DownloadParams params;
+  params.failure_prob = 1.0;  // chance(p >= 1) short-circuits drawlessly
+  const DownloadSimulator sim(params);
+  const PreparedDownload prep = sim.prepare(batch_test_path(), 30.0, 90.0);
+  ASSERT_TRUE(prep.valid);
+  util::Rng rng(3);
+  util::Rng untouched(3);
+  DownloadResult out[8];
+  DownloadTally tally;
+  EXPECT_EQ(sim.simulate_batch(prep, 8, rng, out, tally), 0u);
+  EXPECT_EQ(tally.failures, 8u);
+  EXPECT_EQ(rng.uniform_u64(0, ~std::uint64_t{0}),
+            untouched.uniform_u64(0, ~std::uint64_t{0}));
+}
+
 }  // namespace
 }  // namespace v6mon::transport

@@ -33,6 +33,28 @@ TEST(PrefixTrie, InsertFindErase) {
   EXPECT_TRUE(t.empty());
 }
 
+TEST(PrefixTrie, ValuePointersStableAcrossInserts) {
+  // lookup()/find() pointers must survive later inserts even though the
+  // node arena reallocates as it grows — callers cache route pointers
+  // across a campaign (the resolved-site table holds RibEntry pointers).
+  PrefixTrie<Ipv4Address, int> t;
+  t.insert(*Ipv4Prefix::parse("10.0.0.0/8"), 42);
+  const int* cached = t.lookup(Ipv4Address((10u << 24) | 1u));
+  ASSERT_NE(cached, nullptr);
+  EXPECT_EQ(*cached, 42);
+  for (std::uint32_t i = 0; i < 2000; ++i) {
+    // Spread inserts over /24s so the node arena grows well past any
+    // small-buffer regime and relocates several times.
+    t.insert(Ipv4Prefix(Ipv4Address((172u << 24) | (i << 8)), 24),
+             static_cast<int>(i));
+  }
+  EXPECT_EQ(cached, t.lookup(Ipv4Address((10u << 24) | 1u)));
+  EXPECT_EQ(*cached, 42);
+  // In-place overwrite is visible through the cached pointer.
+  t.insert(*Ipv4Prefix::parse("10.0.0.0/8"), 7);
+  EXPECT_EQ(*cached, 7);
+}
+
 TEST(PrefixTrie, LongestPrefixMatch) {
   PrefixTrie<Ipv4Address, int> t;
   t.insert(*Ipv4Prefix::parse("0.0.0.0/0"), 0);
