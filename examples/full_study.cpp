@@ -22,9 +22,12 @@
 #include <fstream>
 #include <vector>
 
+#include "analysis/longitudinal.h"
 #include "analysis/tables.h"
 #include "core/campaign.h"
+#include "core/world_timeline.h"
 #include "obs/metrics.h"
+#include "scenario/evolution.h"
 #include "scenario/config_loader.h"
 #include "scenario/paper.h"
 #include "util/error.h"
@@ -103,8 +106,19 @@ int main(int argc, char** argv) {
 
   std::printf("v6mon full study: seed=%llu scale=%.2f\n",
               static_cast<unsigned long long>(seed), scale);
-  const core::World world = scenario::build_paper_world(seed, scale);
+  // The timeline owns the world. With evolution off (the default) it is
+  // empty and the campaign takes the frozen path — byte-identical to a
+  // plain build_paper_world() run; with `evolution.enabled = true` in
+  // the scenario file the world steps through its epoch stream as the
+  // campaign reaches the generated epoch rounds.
+  scenario::WorldSpec world_spec = scenario::paper_spec(seed, scale);
+  if (have_spec) world_spec.evolution = spec.evolution;
+  core::WorldTimeline timeline = scenario::build_timeline(world_spec);
+  const core::World& world = timeline.world();
   std::printf("%s\n", world.graph.summary().c_str());
+  if (!timeline.empty()) {
+    std::printf("evolving world: %zu epochs pending\n", timeline.num_epochs());
+  }
 
   core::CampaignConfig cfg =
       have_spec ? spec.campaign : scenario::paper_campaign_config(seed);
@@ -119,7 +133,7 @@ int main(int argc, char** argv) {
     util::write_file("full_study_out/.spool_dir", "");  // ensure dir exists
     cfg.spool_dir = "full_study_out";
   }
-  core::Campaign campaign(world, cfg);
+  core::Campaign campaign(timeline, cfg);
   campaign.run();
   campaign.run_w6d();
   campaign.finalize();
@@ -175,6 +189,25 @@ int main(int argc, char** argv) {
        analysis::table12_render(analysis::table11_dp(w6d_reports)), "table12.csv");
   show("Table 13: good-AS coverage of DP paths",
        analysis::table13_render(analysis::table13_good_as(reports)), "table13.csv");
+
+  // Evolving-world runs get the longitudinal view on top: per-epoch
+  // adoption and SL/DL/SP/DP shares (the Fig. 3-shaped growth table),
+  // one per vantage point.
+  if (!timeline.empty()) {
+    std::vector<std::uint32_t> boundaries;
+    for (const core::EpochStats& s : timeline.epoch_stats()) {
+      boundaries.push_back(s.round);
+    }
+    for (std::size_t i = 0; i < world.vantage_points.size(); ++i) {
+      const std::string& name = world.vantage_points[i].name;
+      const analysis::LongitudinalView lv =
+          analysis::longitudinal_view(views[i], boundaries);
+      show(("Longitudinal growth (" + name + ")").c_str(), lv.table(),
+           ("longitudinal_" + name + ".csv").c_str());
+      std::printf("AAAA growth over the campaign (%s): %.2fx\n", name.c_str(),
+                  lv.aaaa_growth());
+    }
+  }
 
   if (with_metrics) {
     auto& metrics = obs::metrics();

@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/results.h"
+#include "util/table.h"
+#include "util/timeseries.h"
+
+namespace v6mon::analysis {
+
+/// One epoch window of an evolving-world campaign: the half-open round
+/// range [from_round, to_round) during which world epoch `epoch` was in
+/// effect, with the adoption and category tallies observed in it.
+struct EpochWindow {
+  std::uint32_t epoch = 0;
+  std::uint32_t from_round = 0;
+  std::uint32_t to_round = 0;  ///< Exclusive.
+
+  /// Listed / dual-stack (both A and AAAA answered) site counts at the
+  /// window's last round with data — the adoption state the window ends
+  /// on, matching how Fig. 1 samples the curve.
+  std::uint64_t listed = 0;
+  std::uint64_t dual = 0;
+
+  /// Per-category site counts over the window (each site classified by
+  /// its last measured observation inside the window, i.e. the settled
+  /// post-epoch routing state). SL = SP + DP, as in the paper.
+  std::size_t dl = 0;
+  std::size_t sp = 0;
+  std::size_t dp = 0;
+
+  [[nodiscard]] std::size_t sl() const { return sp + dp; }
+  [[nodiscard]] double dual_share() const {
+    return listed == 0 ? 0.0 : static_cast<double>(dual) / static_cast<double>(listed);
+  }
+};
+
+/// Longitudinal (per-epoch) view of one vantage point's campaign results:
+/// the analysis-layer face of the evolving-world engine. All series use
+/// util::TimeSeries, so out-of-order aggregation bugs throw instead of
+/// silently reordering the curves.
+struct LongitudinalView {
+  std::vector<EpochWindow> windows;
+  /// Per-round dual-stack share of the listed population (Fig. 1's
+  /// curve); rounds without listed sites are skipped.
+  util::TimeSeries adoption;
+  /// Per-round dual-stack site count (the AAAA growth curve).
+  util::TimeSeries aaaa_count;
+
+  /// End-of-campaign / start-of-campaign AAAA multiplication — the
+  /// headline "times more sites with AAAA records" number.
+  [[nodiscard]] double aaaa_growth() const { return aaaa_count.growth_factor(); }
+
+  /// Fig. 3-shaped growth table: one row per epoch window with the
+  /// adoption state and SL/DL/SP/DP shares it ended on.
+  [[nodiscard]] util::TextTable table() const;
+};
+
+/// Build the longitudinal view from a finalized results view.
+/// `epoch_boundaries` are the rounds the world advanced on, ascending
+/// (core::WorldTimeline epoch rounds; pass an empty span for a frozen
+/// world — the whole campaign becomes one epoch-0 window). Rounds are
+/// windowed as [0, b1), [b1, b2), ..., [bk, num_rounds+1).
+[[nodiscard]] LongitudinalView longitudinal_view(
+    core::ObservationView view, std::span<const std::uint32_t> epoch_boundaries);
+
+}  // namespace v6mon::analysis

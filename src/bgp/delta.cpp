@@ -1,0 +1,185 @@
+#include "bgp/delta.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/contracts.h"
+
+namespace v6mon::bgp {
+
+using topo::Asn;
+using topo::kNoAs;
+using topo::Role;
+
+namespace {
+
+/// A candidate route during declarative re-selection. `rank` encodes the
+/// Gao-Rexford class preference (0 customer, 1 peer, 2 provider, 4 no
+/// route); comparison is lexicographic (rank, length, tie), exactly the
+/// order the staged algorithm realizes.
+struct Selection {
+  int rank = 4;
+  std::uint16_t length = 0;
+  std::uint64_t tie = 0;
+  Asn next_hop = kNoAs;
+
+  [[nodiscard]] RouteClass cls() const {
+    switch (rank) {
+      case 0: return RouteClass::kCustomer;
+      case 1: return RouteClass::kPeer;
+      case 2: return RouteClass::kProvider;
+      default: return RouteClass::kNone;
+    }
+  }
+};
+
+}  // namespace
+
+DeltaStats compute_routes_delta(const FamilyView& view, RouteTable& table,
+                                std::span<const EdgeChange> changes) {
+  DeltaStats stats;
+  if (changes.empty()) return stats;
+
+  const std::size_t n = view.num_ases();
+  const Asn dest = table.dest();
+  V6MON_REQUIRE(table.family() == view.family(),
+                "delta convergence needs the table's own family view");
+  V6MON_REQUIRE(table.next_hop_.size() == n,
+                "family view and route table disagree on the AS count");
+
+  const std::uint64_t tie_prefix =
+      detail::tie_break_prefix(static_cast<std::uint64_t>(dest));
+  auto tie_rank = [tie_prefix](Asn at, Asn via) {
+    return detail::tie_break_rank(tie_prefix,
+                                  (static_cast<std::uint64_t>(at) << 32) | via);
+  };
+  // Any length this large cannot appear in a fixpoint (support chains are
+  // simple paths), so rejecting such candidates cannot lose a real route —
+  // it only stops count-to-infinity chatter from growing unboundedly.
+  const std::size_t max_len = std::min<std::size_t>(n - 1, 0xfffe);
+
+  std::vector<char> queued(n, 0);
+  std::vector<Asn> work;
+  auto enqueue = [&](Asn x) {
+    if (x == dest || queued[x] != 0) return;
+    queued[x] = 1;
+    work.push_back(x);
+  };
+
+  // ---- Seed: invalidation closure over withdrawn support ----------------
+  // Forcing a node to kNone before re-evaluating it (rather than merely
+  // enqueueing) is load-bearing: a chain of routes that supported each
+  // other through the removed edge must not survive as a self-consistent
+  // island of stale state.
+  std::vector<char> invalidated(n, 0);
+  std::vector<Asn> closure;
+  auto invalidate = [&](Asn x) {
+    if (x == dest || invalidated[x] != 0) return;
+    invalidated[x] = 1;
+    table.cls_[x] = RouteClass::kNone;
+    table.next_hop_[x] = kNoAs;
+    table.length_[x] = 0;
+    ++stats.invalidated;
+    closure.push_back(x);
+    enqueue(x);
+  };
+  for (const EdgeChange& ch : changes) {
+    V6MON_REQUIRE(ch.a < n && ch.b < n, "edge change endpoint out of range");
+    if (ch.added) continue;
+    // Conservative: the pair may still be connected by a parallel link,
+    // but re-selection restores any route that is in fact still best.
+    if (table.next_hop_[ch.a] == ch.b) invalidate(ch.a);
+    if (table.next_hop_[ch.b] == ch.a) invalidate(ch.b);
+  }
+  while (!closure.empty()) {
+    const Asn x = closure.back();
+    closure.pop_back();
+    // Every dependent of x still in the table routes *through* x, so it
+    // is necessarily one of x's surviving view-neighbors.
+    for (const FamilyView::Edge* e = view.edges_begin(x); e != view.edges_end(x);
+         ++e) {
+      if (table.next_hop_[e->neighbor] == x) invalidate(e->neighbor);
+    }
+  }
+  for (const EdgeChange& ch : changes) {
+    enqueue(ch.a);
+    enqueue(ch.b);
+  }
+
+  // ---- Re-converge the frontier -----------------------------------------
+  auto select = [&](Asn x) {
+    Selection best;
+    for (const FamilyView::Edge* e = view.edges_begin(x); e != view.edges_end(x);
+         ++e) {
+      const Asn nb = e->neighbor;
+      const RouteClass nb_cls = table.cls_[nb];
+      int rank;
+      switch (e->role) {
+        case Role::kCustomer:  // nb is x's customer: customer route
+          if (nb_cls != RouteClass::kOrigin && nb_cls != RouteClass::kCustomer) continue;
+          rank = 0;
+          break;
+        case Role::kPeer:  // valley-free: the peer must hold a downhill route
+          if (nb_cls != RouteClass::kOrigin && nb_cls != RouteClass::kCustomer) continue;
+          rank = 1;
+          break;
+        case Role::kProvider:  // providers export whatever they selected
+          if (nb_cls == RouteClass::kNone) continue;
+          rank = 2;
+          break;
+        default: continue;
+      }
+      const std::size_t cand_len = static_cast<std::size_t>(table.length_[nb]) + 1;
+      if (cand_len > max_len) continue;
+      const std::uint16_t len = static_cast<std::uint16_t>(cand_len);
+      if (rank > best.rank) continue;
+      const std::uint64_t tie = tie_rank(x, nb);
+      if (rank < best.rank || len < best.length ||
+          (len == best.length && tie < best.tie)) {
+        best = Selection{rank, len, tie, nb};
+      }
+    }
+    return best;
+  };
+
+  const std::size_t round_budget = 2 * n + 64;
+  std::vector<Asn> next;
+  for (std::size_t round = 0; !work.empty(); ++round) {
+    if (round >= round_budget) {
+      // Count-to-infinity corner: rebuild from scratch. Same fixpoint,
+      // so byte-identity with the oracle is preserved either way.
+      stats.fell_back = true;
+      table = compute_routes_to(view, dest);
+      return stats;
+    }
+    std::sort(work.begin(), work.end());
+    for (Asn x : work) queued[x] = 0;
+    next.clear();
+    for (Asn x : work) {
+      ++stats.reevaluated;
+      const Selection sel = select(x);
+      const RouteClass cls = sel.cls();
+      if (cls == table.cls_[x] && sel.next_hop == table.next_hop_[x] &&
+          sel.length == table.length_[x]) {
+        continue;
+      }
+      table.cls_[x] = cls;
+      table.next_hop_[x] = sel.next_hop;
+      table.length_[x] = sel.length;
+      ++stats.changed;
+      for (const FamilyView::Edge* e = view.edges_begin(x);
+           e != view.edges_end(x); ++e) {
+        if (e->neighbor == dest || queued[e->neighbor] != 0) continue;
+        queued[e->neighbor] = 1;
+        next.push_back(e->neighbor);
+      }
+    }
+    work.swap(next);
+  }
+
+  V6MON_ENSURE(table.cls_[dest] == RouteClass::kOrigin && table.length_[dest] == 0,
+               "the destination must keep its origin route");
+  return stats;
+}
+
+}  // namespace v6mon::bgp

@@ -50,6 +50,13 @@ class Rib {
     v6_.insert(prefix, std::move(entry));
   }
 
+  /// Withdraw a v6 route (epoch engine: prefix withdrawal deltas). The
+  /// trie keeps the value's storage alive, so a RibEntry* cached by a
+  /// stale ResolvedSiteTable row stays dereferenceable until the row is
+  /// invalidated at the epoch boundary — it just stops being returned by
+  /// lookups. Returns false when no exact entry existed.
+  bool erase_v6(const ip::Ipv6Prefix& prefix) { return v6_.erase(prefix); }
+
   /// Longest-prefix-match lookups; nullptr when the table has no route.
   [[nodiscard]] const RibEntry* lookup_v4(const ip::Ipv4Address& a) const {
     return v4_.lookup(a);

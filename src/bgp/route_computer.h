@@ -1,12 +1,16 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "ip/prefix.h"
 #include "topo/as_graph.h"
 
 namespace v6mon::bgp {
+
+struct EdgeChange;
+struct DeltaStats;
 
 /// Class of the selected route at an AS, in *decreasing* preference order
 /// per the Gao-Rexford economic model: routes learned from customers are
@@ -88,9 +92,15 @@ class RouteTable {
   /// print at a router inside `src` (local AS excluded, origin included).
   [[nodiscard]] std::vector<topo::Asn> as_path(topo::Asn src) const;
 
+  /// Byte-wise table equality — the oracle check of the epoch engine's
+  /// incremental-equals-rebuild contract (bgp/delta.h).
+  [[nodiscard]] bool operator==(const RouteTable&) const = default;
+
  private:
   friend RouteTable compute_routes_to(const topo::AsGraph&, ip::Family, topo::Asn);
   friend RouteTable compute_routes_to(const FamilyView&, topo::Asn);
+  friend DeltaStats compute_routes_delta(const FamilyView&, RouteTable&,
+                                         std::span<const EdgeChange>);
 
   topo::Asn dest_;
   ip::Family family_;

@@ -5,6 +5,7 @@
 
 #include "core/spool.h"
 #include "core/thread_pool.h"
+#include "core/world_timeline.h"
 #include "obs/metrics.h"
 #include "util/contracts.h"
 #include "web/dns_backend.h"
@@ -99,6 +100,25 @@ Campaign::Campaign(const World& world, CampaignConfig config)
   }
 }
 
+Campaign::Campaign(WorldTimeline& timeline, CampaignConfig config)
+    : Campaign(timeline.world(), std::move(config)) {
+  timeline_ = &timeline;
+}
+
+void Campaign::advance_world(std::uint32_t round) {
+  if (timeline_ == nullptr) return;
+  for (const WorldChangeSummary& summary : timeline_->advance_to(round)) {
+    for (Monitor& monitor : monitors_) monitor.on_world_change(summary);
+    // The packed schedule columns copied the pre-grant AAAA windows; the
+    // round scan would otherwise fast-path granted sites forever.
+    for (const std::uint32_t id : summary.sites_gained_aaaa) {
+      const web::Site& s = world_.catalog.site(id);
+      scan_.v6_from[id] = s.v6_from_round;
+      scan_.v6_until[id] = s.v6_until_round;
+    }
+  }
+}
+
 void Campaign::run_sites(std::size_t vp_index, std::uint32_t round,
                          const std::vector<std::uint32_t>& sites,
                          ObservationSink& sink, std::uint64_t salt) {
@@ -161,6 +181,14 @@ void Campaign::run_round(std::size_t vp_index, std::uint32_t round) {
   V6MON_REQUIRE(vp_index < world_.vantage_points.size(),
                 "vantage point index out of range");
   V6MON_REQUIRE(!finalized_, "run_round after finalize()");
+  if (timeline_ != nullptr) {
+    // Measuring a round with an unapplied epoch at or before it would
+    // observe the wrong world version — the caller must advance first.
+    const std::optional<std::uint32_t> next = timeline_->next_epoch_round();
+    V6MON_REQUIRE(!next.has_value() || *next > round,
+                  "pending world epoch at or before this round: "
+                  "call advance_world(round) first");
+  }
   const VantagePoint& vp = world_.vantage_points[vp_index];
   if (round < vp.start_round) return;
   VpStore& store = stores_[vp_index];
@@ -222,8 +250,22 @@ void Campaign::run_round(std::size_t vp_index, std::uint32_t round) {
 }
 
 void Campaign::run() {
-  for (std::size_t vp = 0; vp < world_.vantage_points.size(); ++vp) {
-    for (std::uint32_t round = 0; round <= world_.num_rounds; ++round) {
+  if (timeline_ == nullptr || timeline_->empty()) {
+    // Frozen world: the original vantage-point-major loop, untouched —
+    // an empty-delta campaign runs exactly the pre-epoch code path.
+    for (std::size_t vp = 0; vp < world_.vantage_points.size(); ++vp) {
+      for (std::uint32_t round = 0; round <= world_.num_rounds; ++round) {
+        run_round(vp, round);
+      }
+    }
+    return;
+  }
+  // Evolving world: round-major so every vantage point observes round r
+  // under the same world version, and the advance happens while no
+  // measurement is in flight.
+  for (std::uint32_t round = 0; round <= world_.num_rounds; ++round) {
+    advance_world(round);
+    for (std::size_t vp = 0; vp < world_.vantage_points.size(); ++vp) {
       run_round(vp, round);
     }
   }
@@ -232,6 +274,10 @@ void Campaign::run() {
 void Campaign::run_w6d() {
   if (world_.w6d_round == web::kNever) return;
   V6MON_REQUIRE(!finalized_, "run_w6d after finalize()");
+  // Evolving campaigns: the special event measures against whatever
+  // world version the regular rounds left behind (run() has advanced
+  // through every epoch <= num_rounds by the w6d round's pass). That is
+  // the intended semantics — W6D happens on the evolved topology.
   std::vector<std::uint32_t> participants;
   for (const web::Site& s : world_.catalog.sites()) {
     if (s.w6d_participant) participants.push_back(s.id);

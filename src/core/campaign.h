@@ -13,6 +13,8 @@
 
 namespace v6mon::core {
 
+class WorldTimeline;
+
 /// Which ObservationSink backend the campaign ingests through (see
 /// core/sink.h). All backends produce byte-identical observables.
 enum class SinkBackend : std::uint8_t {
@@ -52,8 +54,29 @@ class Campaign {
  public:
   Campaign(const World& world, CampaignConfig config);
 
-  /// Run all regular rounds for all vantage points.
+  /// Evolving-world campaign: the timeline owns the world and advances
+  /// it at configured rounds. The campaign measures against
+  /// `timeline.world()` and drives the timeline from run(). A timeline
+  /// with no epochs behaves exactly like the const-world constructor —
+  /// byte-identical output, no epoch machinery on any path.
+  Campaign(WorldTimeline& timeline, CampaignConfig config);
+
+  /// Run all regular rounds for all vantage points. With a non-empty
+  /// timeline the loop is round-major (all vantage points finish round r
+  /// before the world may advance past it); otherwise it is the original
+  /// vantage-point-major loop. Observation bytes are identical either
+  /// way — every RNG stream is keyed by (vp, round, site), never by
+  /// schedule order.
   void run();
+
+  /// Apply every pending world epoch with epoch round <= `round`:
+  /// advances the timeline, then notifies each vantage point's monitor
+  /// (path-cache sweep + resolved-row invalidation) and refreshes the
+  /// campaign's packed site-schedule columns for sites that gained an
+  /// AAAA. Coordinator-only, quiescent: no run_round may be in flight.
+  /// No-op without a timeline. run() calls this; exposed for tests and
+  /// examples that drive rounds manually.
+  void advance_world(std::uint32_t round);
 
   /// Run one round for one vantage point (exposed for tests/examples).
   /// Safe to call concurrently from several threads — ingest epochs on
@@ -119,6 +142,10 @@ class Campaign {
   static CampaignConfig resolve(CampaignConfig config);
 
   const World& world_;
+  /// Non-null for the evolving-world constructor; the pointee owns the
+  /// World that `world_` references and mutates it only inside
+  /// advance_world (quiescent round boundaries).
+  WorldTimeline* timeline_ = nullptr;
   CampaignConfig config_;
   /// One executor for the campaign's lifetime: rounds × VPs × mini-rounds
   /// reuse its workers instead of constructing/joining a pool per

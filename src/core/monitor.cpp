@@ -202,6 +202,48 @@ void Monitor::resolve_addresses(const ip::Ipv4Address& v4_addr,
   row.gate = MonitorStatus::kMeasured;
 }
 
+void Monitor::on_world_change(const WorldChangeSummary& summary) {
+  current_world_epoch_ = summary.epoch;
+  path_cache_->advance_epoch(summary.epoch, summary.touched_as);
+
+  const auto path_touched = [&summary](const std::vector<topo::Asn>& path) {
+    for (const topo::Asn a : path) {
+      if (a < summary.touched_as.size() && summary.touched_as[a] != 0) return true;
+    }
+    return false;
+  };
+  for (std::uint32_t slot = 0; slot < resolved_.size(); ++slot) {
+    if (!resolved_.filled(slot)) continue;
+    // Stale-row pointer reads are safe here: the RIB trie retains value
+    // storage across erase/replace, and this runs on the quiescent
+    // coordinator before any post-epoch reader.
+    const bgp::RibEntry* v6_route = resolved_.v6_route(slot);
+    bool stale;
+    if (v6_route == nullptr || resolved_.v6_addr(slot).is_6to4()) {
+      // No cached route: one may exist now. 6to4: the anycast election
+      // and the island's hidden tunnel leg both change without the
+      // cached path crossing a touched AS.
+      stale = summary.v6_data_plane_changed;
+    } else {
+      stale = summary.dest_changed(v6_route->origin) ||
+              path_touched(v6_route->as_path);
+    }
+    if (stale) resolved_.invalidate(slot);
+  }
+
+  for (const std::uint32_t site_id : summary.sites_gained_aaaa) {
+    const web::Site& site = world_.catalog.site(site_id);
+    for (std::uint8_t hosting = 0; hosting <= 1; ++hosting) {
+      const std::uint32_t slot = resolved_.find(site_id, hosting);
+      if (slot == ResolvedSiteTable::kNoSlot) continue;
+      // grant_aaaa rewrote v6_server_factor (and the v6 addressing the
+      // row derives from); the assign-time columns must follow.
+      resolved_.refresh_static(slot, site);
+      if (resolved_.filled(slot)) resolved_.invalidate(slot);
+    }
+  }
+}
+
 void Monitor::assign_resolve_slots(std::span<const std::uint32_t> sites,
                                    std::uint32_t round) {
   for (const std::uint32_t id : sites) {
@@ -271,7 +313,7 @@ Observation Monitor::monitor_site(const web::Site& site, std::uint32_t round,
   if (have_slot && !resolved_.filled(slot)) {
     ResolvedSiteRow fresh;
     resolve_addresses(v4_addr, v6_addr, /*has_v6=*/true, fresh);
-    resolved_.fill(slot, fresh);
+    resolved_.fill(slot, fresh, current_world_epoch_);
   }
   ResolvedSiteRow local;
   const bool row_matches = have_slot && resolved_.filled(slot) &&

@@ -8,6 +8,7 @@
 #include "core/results.h"
 #include "core/vantage.h"
 #include "core/world.h"
+#include "core/world_delta.h"
 #include "dns/resolver.h"
 #include "transport/download.h"
 #include "transport/path_cache.h"
@@ -112,6 +113,24 @@ class Monitor {
 
   [[nodiscard]] const ResolvedSiteTable& resolved_sites() const { return resolved_; }
 
+  /// Epoch-boundary cache maintenance (coordinator-only, quiescent): the
+  /// world just advanced to `summary.epoch`. Sweeps the path cache of
+  /// entries crossing touched ASes and invalidates resolved-site rows
+  /// whose cached IPv6 route (or absence of one) may no longer hold:
+  ///
+  ///   - rows routed through a touched AS, or to a changed destination;
+  ///   - 6to4 rows and unrouted rows, whenever the v6 data plane changed
+  ///     at all (anycast re-election and relay retirement act at a
+  ///     distance, so these are invalidated conservatively);
+  ///   - rows of sites that gained an AAAA this epoch, whose assign-time
+  ///     columns (v6 server factor) are also re-derived.
+  ///
+  /// IPv4 state is never invalidated — the delta vocabulary is v6-only.
+  /// Conservative invalidation is byte-safe: refills are deterministic
+  /// functions of the post-epoch world. New fills are stamped with
+  /// `summary.epoch`.
+  void on_world_change(const WorldChangeSummary& summary);
+
   /// Outcome of one family's repeat-until-CI download loop. Public only
   /// for the measurement-kernel microbench and tests; not a stable API.
   struct FamilyMeasurement {
@@ -153,6 +172,9 @@ class Monitor {
   util::CiGateTable gates_;
   /// Write-once per-(site, hosting epoch) phase-2 rows; see class comment.
   ResolvedSiteTable resolved_;
+  /// World epoch stamped onto new resolved-row fills; bumped by
+  /// on_world_change at quiescent round boundaries only.
+  std::uint32_t current_world_epoch_ = 0;
 };
 
 }  // namespace v6mon::core

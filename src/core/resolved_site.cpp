@@ -17,6 +17,7 @@ std::uint32_t ResolvedSiteTable::assign(const web::Site& site, std::uint8_t epoc
   site_id_.push_back(site.id);
   epoch_.push_back(epoch);
   filled_.push_back(0);
+  world_epoch_.push_back(0);
   v4_addr_.emplace_back();
   v6_addr_.emplace_back();
   gate_.push_back(MonitorStatus::kMeasured);
@@ -36,7 +37,8 @@ std::uint32_t ResolvedSiteTable::assign(const web::Site& site, std::uint8_t epoc
   return slot;
 }
 
-void ResolvedSiteTable::fill(std::uint32_t slot, const ResolvedSiteRow& row) {
+void ResolvedSiteTable::fill(std::uint32_t slot, const ResolvedSiteRow& row,
+                             std::uint32_t world_epoch) {
   V6MON_REQUIRE(slot < site_id_.size(), "fill of an unassigned slot");
   V6MON_ASSERT(filled_[slot] == 0, "slot filled twice");
   v4_addr_[slot] = row.v4_addr;
@@ -46,7 +48,22 @@ void ResolvedSiteTable::fill(std::uint32_t slot, const ResolvedSiteRow& row) {
   v6_route_[slot] = row.v6_route;
   v4_path_[slot] = row.v4_path;
   v6_path_[slot] = row.v6_path;
+  world_epoch_[slot] = world_epoch;
   filled_[slot] = 1;
+}
+
+void ResolvedSiteTable::invalidate(std::uint32_t slot) {
+  V6MON_REQUIRE(slot < site_id_.size(), "invalidate of an unassigned slot");
+  filled_[slot] = 0;
+}
+
+void ResolvedSiteTable::refresh_static(std::uint32_t slot, const web::Site& site) {
+  V6MON_REQUIRE(slot < site_id_.size(), "refresh of an unassigned slot");
+  V6MON_REQUIRE(site.id == site_id_[slot], "refresh with the wrong site");
+  v4_page_[slot] = site.page_kb;
+  v6_page_[slot] = static_cast<double>(site.page_kb * site.v6_page_ratio);
+  rate_base_[slot] = site.server_rate_kBps;
+  v6_rate_factor_[slot] = site.v6_server_factor;
 }
 
 }  // namespace v6mon::core

@@ -78,14 +78,33 @@ class ResolvedSiteTable {
   /// the resolved row arrives via fill(). Requires the slot not to exist.
   std::uint32_t assign(const web::Site& site, std::uint8_t epoch);
 
-  /// Scatter a resolved row into the columns. Safe to call concurrently
-  /// for distinct slots; each slot is filled exactly once.
-  void fill(std::uint32_t slot, const ResolvedSiteRow& row);
+  /// Scatter a resolved row into the columns, stamping the world epoch
+  /// it was resolved under. Safe to call concurrently for distinct
+  /// slots; each slot is filled at most once *per world epoch* — a row
+  /// invalidated at an epoch boundary refills through the same path.
+  void fill(std::uint32_t slot, const ResolvedSiteRow& row,
+            std::uint32_t world_epoch = 0);
+
+  /// Epoch-boundary invalidation (coordinator-only, quiescent): clear
+  /// the filled flag so the next round's lazy fill re-resolves the row
+  /// against the post-epoch RIB and paths. The cached RibEntry pointers
+  /// stay dereferenceable until then (the RIB trie retains value
+  /// storage), but no reader sees them: every read is gated on filled().
+  void invalidate(std::uint32_t slot);
+
+  /// Re-derive the assign-time site columns (pages, rate base, v6 rate
+  /// factor) after the catalog mutated the site — a kSiteGainsAaaa delta
+  /// rewrites v6_server_factor on a site whose slot may already exist.
+  void refresh_static(std::uint32_t slot, const web::Site& site);
 
   [[nodiscard]] std::size_t size() const { return site_id_.size(); }
   [[nodiscard]] std::uint32_t site_id(std::uint32_t slot) const { return site_id_[slot]; }
   [[nodiscard]] std::uint8_t epoch(std::uint32_t slot) const { return epoch_[slot]; }
   [[nodiscard]] bool filled(std::uint32_t slot) const { return filled_[slot] != 0; }
+  /// World epoch the row was last resolved under (0 = the seed world).
+  [[nodiscard]] std::uint32_t world_epoch(std::uint32_t slot) const {
+    return world_epoch_[slot];
+  }
   [[nodiscard]] const ip::Ipv4Address& v4_addr(std::uint32_t slot) const {
     return v4_addr_[slot];
   }
@@ -123,6 +142,7 @@ class ResolvedSiteTable {
   std::vector<std::uint32_t> site_id_;
   std::vector<std::uint8_t> epoch_;
   std::vector<std::uint8_t> filled_;
+  std::vector<std::uint32_t> world_epoch_;
   std::vector<ip::Ipv4Address> v4_addr_;
   std::vector<ip::Ipv6Address> v6_addr_;
   std::vector<MonitorStatus> gate_;

@@ -27,6 +27,7 @@ constexpr std::size_t kMaxLines = 10000;
 constexpr std::uint64_t kMaxThreads = 4096;
 constexpr std::uint64_t kMaxMiniRounds = 100000;
 constexpr std::uint64_t kMaxDownloadBudget = 65535;  // Observation sample ceiling
+constexpr std::uint64_t kMaxRounds = 0xffffffffULL - 1;  // web::kNever is reserved
 constexpr double kMaxScale = 100.0;
 
 [[noreturn]] void fail(std::size_t line, const std::string& what) {
@@ -199,6 +200,20 @@ ScenarioSpec parse_scenario(std::string_view text) {
       m.download.failure_prob = parse_double(value, line_no);
     } else if (key == "download.fixed_overhead_s") {
       m.download.fixed_overhead_s = parse_double(value, line_no);
+    } else if (key == "evolution.enabled") {
+      spec.evolution.enabled = parse_bool(value, line_no);
+    } else if (key == "evolution.delta_rate") {
+      spec.evolution.delta_rate = parse_double(value, line_no);
+    } else if (key == "evolution.epoch_interval") {
+      const std::uint64_t v = parse_u64(value, line_no);
+      if (v == 0 || v > kMaxRounds) fail(line_no, "evolution.epoch_interval out of range");
+      spec.evolution.epoch_interval = static_cast<std::uint32_t>(v);
+    } else if (key == "evolution.max_as_fraction") {
+      spec.evolution.max_as_fraction = parse_double(value, line_no);
+    } else if (key == "evolution.depletion_round") {
+      const std::uint64_t v = parse_u64(value, line_no);
+      if (v > kMaxRounds) fail(line_no, "evolution.depletion_round out of range");
+      spec.evolution.depletion_round = static_cast<std::uint32_t>(v);
     } else {
       fail(line_no, "unknown key '" + std::string(key) + "'");
     }
@@ -212,6 +227,7 @@ ScenarioSpec parse_scenario(std::string_view text) {
   // Domain validation: everything MonitorConfig::validate checks, as
   // ConfigError — the same errors a programmatic misconfiguration gets.
   spec.campaign.monitor.validate();
+  spec.evolution.validate();
   return spec;
 }
 

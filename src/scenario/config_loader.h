@@ -5,6 +5,7 @@
 #include <string_view>
 
 #include "core/campaign.h"
+#include "scenario/world_builder.h"
 
 namespace v6mon::scenario {
 
@@ -20,6 +21,9 @@ namespace v6mon::scenario {
 ///     campaign.sink    = sharded        # mutex | sharded | spool
 ///     monitor.ci_rel   = 0.10
 ///     dns.timeout_prob = 0.01
+///     evolution.enabled        = true   # evolving-world delta stream
+///     evolution.delta_rate     = 1.0
+///     evolution.epoch_interval = 8
 ///
 /// Unknown keys, duplicate keys, malformed numbers and out-of-domain
 /// values are all hard errors — a scenario file that drifts from the
@@ -28,6 +32,9 @@ struct ScenarioSpec {
   std::uint64_t world_seed = 2011;
   double scale = 1.0;
   core::CampaignConfig campaign;  ///< Paper defaults unless overridden.
+  /// Evolving-world knobs; evolution.enabled = false leaves the world
+  /// frozen (the exact pre-epoch campaign path).
+  EvolutionSpec evolution;
 };
 
 /// Parse a scenario description from text. Throws v6mon::ParseError on

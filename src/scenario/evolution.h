@@ -1,0 +1,38 @@
+#pragma once
+
+#include <vector>
+
+#include "core/world_delta.h"
+#include "core/world_timeline.h"
+#include "scenario/paper.h"
+#include "scenario/world_builder.h"
+#include "util/rng.h"
+
+namespace v6mon::scenario {
+
+/// Generate the evolving-world delta stream for `world` on the given
+/// calendar. Epochs land on calendar.epoch_rounds(spec.epoch_interval);
+/// each epoch's deltas are valid against the world *as evolved by every
+/// earlier epoch* (the generator tracks the mutable predicates — AS v6
+/// status, link family membership, site AAAA windows — without touching
+/// the world itself). Deterministic in (world, calendar, spec, rng
+/// stream); independent of thread count by construction (single
+/// stream, sequential draws).
+///
+/// Guarantees consumed by core::WorldTimeline::apply_epoch's contracts:
+/// no double enable of an AS or link, tunnels retired at most once and
+/// only while live, withdrawals name only prefixes a previous epoch
+/// announced, AAAA grants only to sites that never had a window.
+[[nodiscard]] std::vector<core::EpochDeltas> generate_deltas(
+    const core::World& world, const PaperCalendar& calendar,
+    const EvolutionSpec& spec, util::Rng& rng);
+
+/// Build the world and its timeline in one step: build_world(spec),
+/// then — when spec.evolution.enabled — a delta stream generated from
+/// the independent "evolution" child of the spec seed (the world's own
+/// RNG children are untouched, so the epoch-0 world is bit-identical to
+/// build_world's). A disabled spec yields an empty timeline: campaigns
+/// over it are byte-identical to campaigns over build_world(spec).
+[[nodiscard]] core::WorldTimeline build_timeline(const WorldSpec& spec);
+
+}  // namespace v6mon::scenario

@@ -7,6 +7,20 @@
 
 namespace v6mon::scenario {
 
+std::vector<std::uint32_t> PaperCalendar::epoch_rounds(std::uint32_t interval) const {
+  if (interval == 0 || interval > num_rounds) {
+    throw ConfigError("epoch interval out of range");
+  }
+  std::vector<std::uint32_t> rounds;
+  for (std::uint32_t r = interval; r <= num_rounds; r += interval) rounds.push_back(r);
+  for (std::uint32_t r : {iana_depletion_round, w6d_round}) {
+    if (r > 0 && r <= num_rounds) rounds.push_back(r);
+  }
+  std::sort(rounds.begin(), rounds.end());
+  rounds.erase(std::unique(rounds.begin(), rounds.end()), rounds.end());
+  return rounds;
+}
+
 WorldSpec paper_spec(std::uint64_t seed, double scale) {
   if (scale <= 0.0 || scale > 4.0) throw ConfigError("paper scale out of range");
   const PaperCalendar cal;

@@ -1,5 +1,8 @@
 #pragma once
 
+#include <cstdint>
+#include <vector>
+
 #include "core/campaign.h"
 #include "scenario/world_builder.h"
 
@@ -12,6 +15,29 @@ struct PaperCalendar {
   std::uint32_t num_rounds = 40;
   std::uint32_t iana_depletion_round = 16;  ///< Feb 3, 2011.
   std::uint32_t w6d_round = 34;             ///< June 8, 2011.
+
+  /// Adoption phase a round falls in, delimiting the two inflection
+  /// points of Fig. 1 (and the delta-rate multipliers the evolution
+  /// generator applies per phase).
+  enum class Phase { kPreDepletion, kPostDepletion, kPostW6d };
+
+  [[nodiscard]] Phase phase_of(std::uint32_t round) const {
+    if (round >= w6d_round) return Phase::kPostW6d;
+    if (round >= iana_depletion_round) return Phase::kPostDepletion;
+    return Phase::kPreDepletion;
+  }
+
+  /// True exactly at the rounds where Fig. 1 shows a step (the rounds
+  /// the evolution generator schedules its burst epochs on).
+  [[nodiscard]] bool is_inflection(std::uint32_t round) const {
+    return round == iana_depletion_round || round == w6d_round;
+  }
+
+  /// Rounds the default evolving-world timeline advances on: every
+  /// `interval` rounds plus both inflection rounds, strictly ascending,
+  /// always within (0, num_rounds]. Round 0 is never an epoch boundary —
+  /// epoch 0 *is* the round-0 world.
+  [[nodiscard]] std::vector<std::uint32_t> epoch_rounds(std::uint32_t interval) const;
 };
 
 /// Scale factor: 1.0 builds the default reproduction world (hundreds of

@@ -45,6 +45,34 @@ struct VantageSpec {
   int weak_provider_rank = -1;
 };
 
+/// Knobs of the evolving-world delta stream (core::WorldTimeline). The
+/// generator (scenario/evolution.h) schedules epochs on the paper
+/// calendar — every `epoch_interval` rounds plus the two Fig. 1
+/// inflection points — and emits per-epoch deltas: AS dual-stack
+/// enables with a prefix announcement and an uplink v6 enable, new v6
+/// peerings between already-v6 ASes, tunnel retirements paired with a
+/// native upgrade (post-depletion only), occasional renumbering
+/// withdrawals, and AAAA grants to v4-only sites (bursty at the
+/// inflections, matching Fig. 1's steps).
+struct EvolutionSpec {
+  /// Off by default: a disabled spec yields an empty timeline and the
+  /// campaign runs the exact pre-epoch code path.
+  bool enabled = false;
+  /// Scales every per-epoch delta count (1.0 = default densities).
+  double delta_rate = 1.0;
+  /// Rounds between scheduled epochs; the calendar's inflection rounds
+  /// are always added on top.
+  std::uint32_t epoch_interval = 8;
+  /// At most this fraction of all ASes may be named by one epoch's
+  /// deltas — the frontier the incremental RIB engine is sized for.
+  double max_as_fraction = 0.01;
+  /// IANA depletion inflection round (paper calendar: Feb 3, 2011).
+  std::uint32_t depletion_round = 16;
+
+  /// Domain checks; throws v6mon::ConfigError.
+  void validate() const;
+};
+
 /// Everything needed to build a World.
 struct WorldSpec {
   std::uint64_t seed = 2011;
@@ -61,6 +89,9 @@ struct WorldSpec {
 
   /// Round of World IPv6 Day (catalog.w6d_round is kept in sync).
   std::uint32_t w6d_round = web::kNever;
+
+  /// Evolving-world delta stream; disabled by default (frozen world).
+  EvolutionSpec evolution;
 
   /// Worker threads for world construction (RIB convergence, tunnel relay
   /// tables); 0 = hardware concurrency. Output is bit-identical for every

@@ -61,6 +61,15 @@ void AsGraph::enable_v6_on_link(std::uint32_t link_id) {
   links_.at(link_id).in_v6 = true;
 }
 
+void AsGraph::retire_tunnel(std::uint32_t link_id) {
+  AsLink& l = links_.at(link_id);
+  if (!l.v6_tunnel) {
+    throw ConfigError("retire_tunnel: link " + std::to_string(link_id) +
+                      " is not a tunnel pseudo-link");
+  }
+  l.in_v6 = false;
+}
+
 std::uint32_t AsGraph::find_link(Asn a, Asn b, ip::Family f) const {
   for (const Adjacency& adj : adj_.at(a)) {
     if (adj.neighbor == b && link_in_family(adj.link_id, f)) return adj.link_id;

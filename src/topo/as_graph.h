@@ -116,6 +116,13 @@ class AsGraph {
   /// Enable IPv6 on an existing link (e.g. when modelling an upgrade).
   void enable_v6_on_link(std::uint32_t link_id);
 
+  /// Retire a tunnel pseudo-link: the relay stops serving the island, so
+  /// the link leaves the IPv6 topology (epoch engine kTunnelRetired
+  /// deltas — islands that upgraded to native transit tear the 6to4 /
+  /// broker path down). The adjacency rows stay; family filters hide
+  /// them, exactly like a link that never carried the family.
+  void retire_tunnel(std::uint32_t link_id);
+
   [[nodiscard]] std::size_t num_ases() const { return nodes_.size(); }
   [[nodiscard]] std::size_t num_links() const { return links_.size(); }
 

@@ -46,7 +46,7 @@ PathCharacteristics PathCache::characteristics(
   {
     util::ReaderLockGuard lock(shard.mu);
     const auto it = shard.map.find(key);
-    if (it != shard.map.end()) return it->second;
+    if (it != shard.map.end()) return it->second.pc;
   }
   // Compute outside any lock — pure, so a concurrent duplicate compute is
   // wasted work at worst, never a wrong answer.
@@ -54,13 +54,39 @@ PathCharacteristics PathCache::characteristics(
   pc.quality = path_quality(as_path, sigma_);
   {
     util::WriterLockGuard lock(shard.mu);
-    const auto [it, inserted] = shard.map.try_emplace(key, pc);
+    const auto [it, inserted] = shard.map.try_emplace(
+        key,
+        Entry{pc, world_epoch_.load(std::memory_order_relaxed), as_path});
     if (inserted) {
       misses_.fetch_add(1, std::memory_order_relaxed);
       obs::metrics().add(path_cache_metric_ids().inserts);
     }
-    return it->second;  // the first writer's value, for every caller
+    return it->second.pc;  // the first writer's value, for every caller
   }
+}
+
+std::size_t PathCache::advance_epoch(std::uint32_t world_epoch,
+                                     const std::vector<std::uint8_t>& touched_as) {
+  world_epoch_.store(world_epoch, std::memory_order_relaxed);
+  auto path_touched = [&touched_as](const std::vector<topo::Asn>& path) {
+    for (topo::Asn a : path) {
+      if (a < touched_as.size() && touched_as[a] != 0) return true;
+    }
+    return false;
+  };
+  std::size_t swept = 0;
+  for (Shard& shard : shards_) {
+    util::WriterLockGuard lock(shard.mu);
+    for (auto it = shard.map.begin(); it != shard.map.end();) {
+      if (path_touched(it->second.as_path)) {
+        it = shard.map.erase(it);
+        ++swept;
+      } else {
+        ++it;
+      }
+    }
+  }
+  return swept;
 }
 
 PathCache::Stats PathCache::stats() const {

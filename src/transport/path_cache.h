@@ -20,11 +20,18 @@ namespace v6mon::transport {
 /// thousands of times but a vantage point only ever selects a few hundred
 /// distinct paths. The cache characterizes each once and serves copies.
 ///
-/// Invalidation: none, by design. The AS graph is frozen after
-/// build_world (links, metrics and tunnels never change mid-campaign), so
-/// an entry can never go stale. Anything downstream that *is* per-site —
-/// the 6to4 hidden-leg adjustment, the quality multiplier application —
-/// happens on the caller's copy, never on the cached entry.
+/// Invalidation: selective, at epoch boundaries only. Within an epoch
+/// the AS graph is frozen, so an entry cannot go stale mid-round. When
+/// the world advances (core::WorldTimeline), the campaign calls
+/// advance_epoch() on the quiescent round boundary with the set of
+/// touched ASes; every entry whose path crosses a touched AS is swept.
+/// Entries carry their fill epoch and a copy of their path precisely so
+/// the sweep can decide per entry. A campaign without a delta stream
+/// never calls advance_epoch — the cache then behaves exactly like the
+/// original no-invalidation design. Anything downstream that *is*
+/// per-site — the 6to4 hidden-leg adjustment, the quality multiplier
+/// application — happens on the caller's copy, never on the cached
+/// entry.
 ///
 /// Thread safety: sharded reader/writer maps. Lookups take a shared lock
 /// on one shard (read-mostly after the first round touches each path);
@@ -44,6 +51,14 @@ class PathCache {
   [[nodiscard]] PathCharacteristics characteristics(
       const std::vector<topo::Asn>& as_path, ip::Family family);
 
+  /// Epoch-boundary sweep: drop every entry whose path crosses an AS
+  /// flagged in `touched_as` (indexed by ASN), then stamp new fills with
+  /// `world_epoch`. Called by the campaign coordinator while no
+  /// measurement worker runs; takes the shard locks anyway so a misuse
+  /// is a slow sweep, not a race. Returns the number of entries swept.
+  std::size_t advance_epoch(std::uint32_t world_epoch,
+                            const std::vector<std::uint8_t>& touched_as);
+
   struct Stats {
     std::uint64_t lookups = 0;
     std::uint64_t misses = 0;  ///< Distinct (path, family) computations.
@@ -54,9 +69,17 @@ class PathCache {
  private:
   static constexpr std::size_t kShards = 16;
 
+  /// A memoized path with the provenance the epoch sweep needs: which
+  /// epoch filled it and which ASes its path crosses.
+  struct Entry {
+    PathCharacteristics pc;
+    std::uint32_t world_epoch = 0;
+    std::vector<topo::Asn> as_path;
+  };
+
   struct Shard {
     mutable util::SharedMutex mu;
-    std::unordered_map<std::string, PathCharacteristics> map V6MON_GUARDED_BY(mu);
+    std::unordered_map<std::string, Entry> map V6MON_GUARDED_BY(mu);
   };
 
   static std::string key_of(const std::vector<topo::Asn>& as_path, ip::Family family);
@@ -67,6 +90,8 @@ class PathCache {
   std::array<Shard, kShards> shards_;
   std::atomic<std::uint64_t> lookups_{0};
   std::atomic<std::uint64_t> misses_{0};
+  /// Epoch stamped onto new fills; advanced by advance_epoch only.
+  std::atomic<std::uint32_t> world_epoch_{0};
 };
 
 }  // namespace v6mon::transport

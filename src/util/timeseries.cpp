@@ -4,9 +4,38 @@
 #include <cassert>
 #include <cmath>
 
+#include "util/error.h"
 #include "util/stats.h"
 
 namespace v6mon::util {
+
+void TimeSeries::push_back(std::uint32_t round, double value) {
+  if (!points_.empty() && round <= points_.back().round) {
+    throw Error("timeseries: rounds must be strictly increasing (got " +
+                std::to_string(round) + " after " +
+                std::to_string(points_.back().round) + ")");
+  }
+  points_.push_back({round, value});
+}
+
+std::vector<std::uint32_t> TimeSeries::rounds() const {
+  std::vector<std::uint32_t> out;
+  out.reserve(points_.size());
+  for (const Point& p : points_) out.push_back(p.round);
+  return out;
+}
+
+std::vector<double> TimeSeries::values() const {
+  std::vector<double> out;
+  out.reserve(points_.size());
+  for (const Point& p : points_) out.push_back(p.value);
+  return out;
+}
+
+double TimeSeries::growth_factor() const {
+  if (points_.size() < 2 || points_.front().value == 0.0) return 1.0;
+  return points_.back().value / points_.front().value;
+}
 
 std::vector<double> median_filter(const std::vector<double>& xs, std::size_t window) {
   assert(window % 2 == 1);

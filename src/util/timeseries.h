@@ -1,10 +1,49 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <optional>
 #include <vector>
 
 namespace v6mon::util {
+
+/// An ordered (round, value) series — the longitudinal spine of the
+/// epoch engine's Fig. 1/3-style growth curves. Points must be appended
+/// in strictly increasing round order; a non-increasing round is a
+/// caller bug in the per-epoch aggregation loop and is rejected with an
+/// exception rather than silently reordered (reordering would make the
+/// curve depend on aggregation-thread scheduling).
+class TimeSeries {
+ public:
+  struct Point {
+    std::uint32_t round = 0;
+    double value = 0.0;
+  };
+
+  TimeSeries() = default;
+
+  /// Append a point. Throws v6mon::Error unless `round` is strictly
+  /// greater than the last appended round.
+  void push_back(std::uint32_t round, double value);
+
+  [[nodiscard]] bool empty() const { return points_.empty(); }
+  [[nodiscard]] std::size_t size() const { return points_.size(); }
+  [[nodiscard]] const Point& front() const { return points_.front(); }
+  [[nodiscard]] const Point& back() const { return points_.back(); }
+  [[nodiscard]] const std::vector<Point>& points() const { return points_; }
+
+  /// Column views, for feeding the trend/fit helpers below.
+  [[nodiscard]] std::vector<std::uint32_t> rounds() const;
+  [[nodiscard]] std::vector<double> values() const;
+
+  /// Multiplicative growth back()/front(); 1.0 for series shorter than
+  /// two points or when front() is zero (a share that starts at zero has
+  /// no meaningful growth factor).
+  [[nodiscard]] double growth_factor() const;
+
+ private:
+  std::vector<Point> points_;
+};
 
 /// Sliding-window median filter over a series. Window length must be odd.
 /// Edges use the available (truncated) window.

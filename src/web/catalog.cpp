@@ -375,4 +375,21 @@ std::size_t SiteCatalog::listed_at(std::uint32_t round) const {
   return listed;
 }
 
+void SiteCatalog::grant_aaaa(std::uint32_t site_id, std::uint32_t from_round,
+                             topo::Asn v6_as, const ip::Ipv6Address& v6_addr,
+                             float v6_server_factor) {
+  if (site_id >= sites_.size()) throw ConfigError("grant_aaaa: site id out of range");
+  Site& s = sites_[site_id];
+  if (s.v6_from_round != kNever) {
+    throw ConfigError("grant_aaaa: site " + std::to_string(site_id) +
+                      " already has an IPv6 window");
+  }
+  if (v6_as == topo::kNoAs) throw ConfigError("grant_aaaa: invalid hosting AS");
+  s.v6_from_round = from_round;
+  s.v6_until_round = kNever;
+  s.v6_as = v6_as;
+  s.v6_addr = v6_addr;
+  s.v6_server_factor = v6_server_factor;
+}
+
 }  // namespace v6mon::web

@@ -150,6 +150,14 @@ class SiteCatalog {
   /// Count of listed ranked sites at a round (the Fig. 1 denominator).
   [[nodiscard]] std::size_t listed_at(std::uint32_t round) const;
 
+  /// Epoch engine (kSiteGainsAaaa): an IPv4-only site stands up an AAAA
+  /// record from `from_round` on, hosted in `v6_as` at `v6_addr`.
+  /// Rejects sites that already have (or ever had) an IPv6 window — the
+  /// evolution generator only selects IPv4-only sites, and double grants
+  /// would silently rewrite history the DNS layer already served.
+  void grant_aaaa(std::uint32_t site_id, std::uint32_t from_round, topo::Asn v6_as,
+                  const ip::Ipv6Address& v6_addr, float v6_server_factor);
+
  private:
   std::vector<Site> sites_;
   std::unordered_map<std::uint32_t, Hosting> relocations_;

@@ -72,7 +72,12 @@ TEST(ConfigLoader, EveryKeyLands) {
       "download.window_kB = 64\n"
       "download.noise_sigma = 0.03\n"
       "download.failure_prob = 0.01\n"
-      "download.fixed_overhead_s = 0.2\n");
+      "download.fixed_overhead_s = 0.2\n"
+      "evolution.enabled = true\n"
+      "evolution.delta_rate = 2.5\n"
+      "evolution.epoch_interval = 4\n"
+      "evolution.max_as_fraction = 0.02\n"
+      "evolution.depletion_round = 12\n");
   EXPECT_EQ(spec.world_seed, 5u);
   EXPECT_DOUBLE_EQ(spec.scale, 0.5);
   const core::CampaignConfig& c = spec.campaign;
@@ -98,6 +103,11 @@ TEST(ConfigLoader, EveryKeyLands) {
   EXPECT_DOUBLE_EQ(m.download.noise_sigma, 0.03);
   EXPECT_DOUBLE_EQ(m.download.failure_prob, 0.01);
   EXPECT_DOUBLE_EQ(m.download.fixed_overhead_s, 0.2);
+  EXPECT_TRUE(spec.evolution.enabled);
+  EXPECT_DOUBLE_EQ(spec.evolution.delta_rate, 2.5);
+  EXPECT_EQ(spec.evolution.epoch_interval, 4u);
+  EXPECT_DOUBLE_EQ(spec.evolution.max_as_fraction, 0.02);
+  EXPECT_EQ(spec.evolution.depletion_round, 12u);
 }
 
 TEST(ConfigLoader, SinkSpellings) {
@@ -151,6 +161,17 @@ TEST(ConfigLoader, RejectsOutOfDomainValues) {
   EXPECT_THROW(
       parse_scenario("monitor.min_downloads = 9\nmonitor.max_downloads = 8\n"),
       ConfigError);
+  // Evolution keys: the integer parser rejects structurally bad values
+  // (ParseError); EvolutionSpec::validate rejects out-of-domain ones
+  // (ConfigError), matching programmatic misuse.
+  EXPECT_THROW(parse_scenario("evolution.epoch_interval = 0\n"), ParseError);
+  EXPECT_THROW(parse_scenario("evolution.epoch_interval = 4294967295\n"),
+               ParseError);  // web::kNever is reserved
+  EXPECT_THROW(parse_scenario("evolution.delta_rate = 0\n"), ConfigError);
+  EXPECT_THROW(parse_scenario("evolution.delta_rate = 500\n"), ConfigError);
+  EXPECT_THROW(parse_scenario("evolution.max_as_fraction = 0\n"), ConfigError);
+  EXPECT_THROW(parse_scenario("evolution.max_as_fraction = 1.5\n"), ConfigError);
+  EXPECT_THROW(parse_scenario("evolution.enabled = maybe\n"), ParseError);
 }
 
 TEST(ConfigLoader, InputBoundsHold) {

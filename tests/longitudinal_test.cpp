@@ -1,0 +1,138 @@
+// analysis::longitudinal_view — the per-epoch analysis face of the
+// evolving-world engine. Runs one tiny campaign and checks the window
+// layout, the adoption curves, and the Fig. 3-shaped table against the
+// per-round counters the view is derived from.
+
+#include "analysis/longitudinal.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/campaign.h"
+#include "scenario/world_builder.h"
+#include "util/error.h"
+
+namespace v6mon::analysis {
+namespace {
+
+scenario::WorldSpec tiny_spec() {
+  scenario::WorldSpec spec;
+  spec.seed = 1103;
+  spec.topology.num_tier1 = 4;
+  spec.topology.num_transit = 25;
+  spec.topology.num_stub = 120;
+  spec.catalog.initial_sites = 2000;
+  spec.catalog.churn_per_round = 10;
+  spec.catalog.num_rounds = 8;
+  spec.catalog.adoption = {0.5, 0.4, 0.3, 0.25, 0.2, 0.15};
+  spec.w6d_round = 5;
+  spec.vantage_points = {{.name = "VP-a",
+                          .type = core::VantagePoint::Type::kAcademic,
+                          .region = topo::Region::kNorthAmerica,
+                          .start_round = 0,
+                          .has_as_path = true,
+                          .whitelisted = false,
+                          .uses_dns_cache_supplement = false,
+                          .num_v4_providers = 2,
+                          .v6_mode = scenario::V6UplinkMode::kSameProviders}};
+  return spec;
+}
+
+const core::Campaign& tiny_campaign() {
+  static const auto holder = [] {
+    struct Holder {
+      core::World world;
+      std::unique_ptr<core::Campaign> campaign;
+    };
+    auto h = std::make_unique<Holder>();
+    h->world = scenario::build_world(tiny_spec());
+    core::CampaignConfig cfg;
+    cfg.seed = 2011;
+    cfg.threads = 2;
+    h->campaign = std::make_unique<core::Campaign>(h->world, cfg);
+    h->campaign->run();
+    h->campaign->finalize();
+    return h;
+  }();
+  return *holder->campaign;
+}
+
+TEST(Longitudinal, EmptyBoundariesGiveOneEpochZeroWindow) {
+  const core::ObservationView view(tiny_campaign().results(0));
+  const LongitudinalView lv = longitudinal_view(view, {});
+  ASSERT_EQ(lv.windows.size(), 1u);
+  EXPECT_EQ(lv.windows[0].epoch, 0u);
+  EXPECT_EQ(lv.windows[0].from_round, 0u);
+  EXPECT_EQ(lv.windows[0].to_round, static_cast<std::uint32_t>(view.rounds()));
+  EXPECT_GT(lv.windows[0].listed, 0u);
+  EXPECT_GT(lv.windows[0].dual, 0u);
+  // SL + DL can't exceed the sites classified in the window, and SL
+  // decomposes exactly into SP + DP.
+  EXPECT_EQ(lv.windows[0].sl(), lv.windows[0].sp + lv.windows[0].dp);
+  EXPECT_GT(lv.windows[0].sl() + lv.windows[0].dl, 0u);
+}
+
+TEST(Longitudinal, BoundariesPartitionTheRounds) {
+  const core::ObservationView view(tiny_campaign().results(0));
+  const std::vector<std::uint32_t> boundaries = {3, 6};
+  const LongitudinalView lv = longitudinal_view(view, boundaries);
+  ASSERT_EQ(lv.windows.size(), 3u);
+  EXPECT_EQ(lv.windows[0].from_round, 0u);
+  EXPECT_EQ(lv.windows[0].to_round, 3u);
+  EXPECT_EQ(lv.windows[1].from_round, 3u);
+  EXPECT_EQ(lv.windows[1].to_round, 6u);
+  EXPECT_EQ(lv.windows[2].from_round, 6u);
+  EXPECT_EQ(lv.windows[2].to_round, static_cast<std::uint32_t>(view.rounds()));
+  for (std::size_t i = 0; i < lv.windows.size(); ++i) {
+    EXPECT_EQ(lv.windows[i].epoch, i);
+  }
+
+  // Each window's adoption state is the last counter row with data in it.
+  const core::RoundCounters& r2 = view.round_counters(2);
+  EXPECT_EQ(lv.windows[0].listed, r2.listed);
+  EXPECT_EQ(lv.windows[0].dual, r2.dual);
+}
+
+TEST(Longitudinal, AdoptionCurvesMatchRoundCounters) {
+  const core::ObservationView view(tiny_campaign().results(0));
+  const LongitudinalView lv = longitudinal_view(view, {});
+  ASSERT_GT(lv.adoption.size(), 0u);
+  ASSERT_EQ(lv.adoption.size(), lv.aaaa_count.size());
+  for (std::size_t i = 0; i < lv.adoption.size(); ++i) {
+    const util::TimeSeries::Point& p = lv.adoption.points()[i];
+    const core::RoundCounters& rc = view.round_counters(p.round);
+    ASSERT_GT(rc.listed, 0u);
+    EXPECT_DOUBLE_EQ(p.value,
+                     static_cast<double>(rc.dual) / static_cast<double>(rc.listed));
+    EXPECT_DOUBLE_EQ(lv.aaaa_count.points()[i].value, static_cast<double>(rc.dual));
+  }
+  EXPECT_DOUBLE_EQ(lv.aaaa_growth(),
+                   lv.aaaa_count.back().value / lv.aaaa_count.front().value);
+}
+
+TEST(Longitudinal, TableHasOneRowPerWindow) {
+  const core::ObservationView view(tiny_campaign().results(0));
+  const std::vector<std::uint32_t> boundaries = {4};
+  const LongitudinalView lv = longitudinal_view(view, boundaries);
+  const std::string csv = lv.table().to_csv();
+  // Header + one row per window.
+  std::size_t lines = 0;
+  for (const char c : csv) lines += c == '\n' ? 1 : 0;
+  EXPECT_EQ(lines, 1 + lv.windows.size());
+  EXPECT_NE(csv.find("epoch"), std::string::npos);
+  EXPECT_NE(csv.find("dual%"), std::string::npos);
+}
+
+TEST(Longitudinal, OutOfRangeBoundariesAreDropped) {
+  const core::ObservationView view(tiny_campaign().results(0));
+  // A boundary at/after the last round contributes no window.
+  const std::vector<std::uint32_t> boundaries = {4, 1000};
+  const LongitudinalView lv = longitudinal_view(view, boundaries);
+  ASSERT_EQ(lv.windows.size(), 2u);
+  EXPECT_EQ(lv.windows.back().to_round, static_cast<std::uint32_t>(view.rounds()));
+}
+
+}  // namespace
+}  // namespace v6mon::analysis

@@ -4,6 +4,7 @@
 
 #include <vector>
 
+#include "util/error.h"
 #include "util/rng.h"
 
 namespace v6mon::util {
@@ -148,6 +149,54 @@ TEST(DetectTrend, SignificantButTinyDriftIgnored) {
 
 TEST(DetectTrend, ShortSeries) {
   EXPECT_EQ(detect_trend({1.0, 2.0, 3.0}), Trend::kNone);
+}
+
+TEST(TimeSeries, EmptySeries) {
+  const TimeSeries ts;
+  EXPECT_TRUE(ts.empty());
+  EXPECT_EQ(ts.size(), 0u);
+  EXPECT_TRUE(ts.rounds().empty());
+  EXPECT_TRUE(ts.values().empty());
+  EXPECT_DOUBLE_EQ(ts.growth_factor(), 1.0);
+}
+
+TEST(TimeSeries, SinglePoint) {
+  TimeSeries ts;
+  ts.push_back(7, 0.42);
+  EXPECT_FALSE(ts.empty());
+  ASSERT_EQ(ts.size(), 1u);
+  EXPECT_EQ(ts.front().round, 7u);
+  EXPECT_DOUBLE_EQ(ts.back().value, 0.42);
+  // No second point: growth is defined as the neutral factor.
+  EXPECT_DOUBLE_EQ(ts.growth_factor(), 1.0);
+}
+
+TEST(TimeSeries, OutOfOrderInsertRejected) {
+  TimeSeries ts;
+  ts.push_back(3, 1.0);
+  EXPECT_THROW(ts.push_back(3, 2.0), Error);  // duplicate round
+  EXPECT_THROW(ts.push_back(1, 2.0), Error);  // going backwards
+  // The failed inserts must not have appended anything.
+  ASSERT_EQ(ts.size(), 1u);
+  ts.push_back(4, 2.0);
+  EXPECT_EQ(ts.size(), 2u);
+}
+
+TEST(TimeSeries, ColumnsAndGrowth) {
+  TimeSeries ts;
+  ts.push_back(0, 10.0);
+  ts.push_back(16, 20.0);
+  ts.push_back(34, 40.0);
+  EXPECT_EQ(ts.rounds(), (std::vector<std::uint32_t>{0, 16, 34}));
+  EXPECT_EQ(ts.values(), (std::vector<double>{10.0, 20.0, 40.0}));
+  EXPECT_DOUBLE_EQ(ts.growth_factor(), 4.0);
+}
+
+TEST(TimeSeries, GrowthFromZeroFront) {
+  TimeSeries ts;
+  ts.push_back(0, 0.0);
+  ts.push_back(1, 5.0);
+  EXPECT_DOUBLE_EQ(ts.growth_factor(), 1.0);
 }
 
 // Property sweep: detection threshold behaves monotonically — a larger

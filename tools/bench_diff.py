@@ -12,13 +12,16 @@ Two guard rails beyond the timing diff:
   compiled (often "debug" for distro packages), so the harness stamps
   its own `v6mon_build_type` key; anything but "release" is rejected —
   a debug-build bench JSON is worthless as a baseline or a candidate.
-* Benchmarks present in only one file are reported (a silently dropped
-  benchmark is how coverage rots) but are not a failure by themselves.
+* A baseline benchmark missing from the candidate run is a hard failure
+  — a silently dropped benchmark is how coverage rots, and a rename or a
+  deleted BENCHMARK() must come with a baseline update in the same
+  change. Candidate-only benchmarks (new coverage) are merely noted.
 
 When a run used --benchmark_repetitions, the median aggregate is used;
 otherwise the plain iteration row.
 
-Exit status: 0 clean, 1 regression past tolerance, 2 input/guard error.
+Exit status: 0 clean, 1 regression past tolerance or baseline benchmark
+missing from the candidate, 2 input/guard error.
 """
 
 from __future__ import annotations
@@ -118,10 +121,19 @@ def main() -> int:
         if delta > args.tolerance:
             regressions.append(name)
 
-    for name in sorted(base.keys() - cand.keys()):
-        print(f"note: {name} only in baseline (dropped?)")
+    dropped = sorted(base.keys() - cand.keys())
+    for name in dropped:
+        print(f"error: {name} in baseline but missing from candidate")
     for name in sorted(cand.keys() - base.keys()):
         print(f"note: {name} only in candidate (new)")
+    if dropped:
+        print(
+            f"FAIL: {len(dropped)} baseline benchmark(s) missing from the "
+            f"candidate run: {', '.join(dropped)} — update the committed "
+            f"baseline if they were intentionally removed or renamed",
+            file=sys.stderr,
+        )
+        return 1
 
     if regressions:
         print(

@@ -1,0 +1,27 @@
+// D006 fixture: route/path pointers cached with no stamp in reach.
+// (The trigger word for the stamp heuristic must not appear anywhere in
+// this file — the rule scans a 20-line window around each declaration.)
+
+namespace bgp {
+struct RibEntry {};
+}  // namespace bgp
+namespace transport {
+struct PathCharacteristics {};
+}  // namespace transport
+
+struct ResolvedSlot {
+  const bgp::RibEntry* v6_route = nullptr;  // EXPECT-LINT: D006
+  int site_id = 0;
+};
+
+class PathMemo {
+  const transport::PathCharacteristics* cached_;  // EXPECT-LINT: D006
+};
+
+void hold_between_rounds() {
+  static const bgp::RibEntry* sticky{};  // EXPECT-LINT: D006
+  (void)sticky;
+}
+
+// Function declarations and container element types never match:
+const bgp::RibEntry* lookup_route(int slot);

@@ -1,0 +1,30 @@
+// D006 fixture (clean): cached route/path pointers with an epoch stamp
+// in reach, plus the ALLOW escape for genuinely transient holds.
+
+#include <cstdint>
+
+namespace bgp {
+struct RibEntry {};
+}  // namespace bgp
+namespace transport {
+struct PathCharacteristics {};
+}  // namespace transport
+
+// The stamp next to the cache is what the rule looks for: whoever holds
+// the pointer also tracks which world epoch it was resolved under.
+struct StampedSlot {
+  const bgp::RibEntry* v6_route = nullptr;
+  std::uint32_t world_epoch = 0;  ///< Epoch the route was resolved at.
+};
+
+// A pointer that provably dies before any epoch boundary may carry an
+// ALLOW instead — the reason is mandatory documentation.
+void transient_use() {
+  // V6MON_LINT_ALLOW(D006): local dies inside one measurement; world
+  // advances only at quiescent round boundaries
+  const transport::PathCharacteristics* pc = nullptr;
+  (void)pc;
+}
+
+// Function declarations and container element types are not caches:
+const bgp::RibEntry* lookup_route(int slot);

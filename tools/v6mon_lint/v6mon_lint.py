@@ -23,6 +23,13 @@ linter encodes the project's determinism rules as source checks:
   D005  floating-point compound assignment inside a parallel region
         (FP addition is not associative; per-thread partial sums melt
         determinism unless the reduction order is fixed)
+  D006  cached route/path pointer (RibEntry* / PathCharacteristics*)
+        stored without an epoch stamp nearby — the evolving-world engine
+        rewrites RIB entries at epoch boundaries, so a pointer held
+        across an advance dangles semantically (it reads pre-epoch
+        routes); keep a world-epoch stamp within reach of the cache (the
+        rule scans the surrounding 20 lines) or ALLOW with the lifetime
+        argument
 
 Engine: a text-level lexer (comments/strings stripped, lines tracked).
 There is deliberately no semantic analysis — the rules are conservative
@@ -49,7 +56,7 @@ import re
 import sys
 from dataclasses import dataclass, field
 
-ALL_RULES = ("D001", "D002", "D003", "D004", "D005")
+ALL_RULES = ("D001", "D002", "D003", "D004", "D005", "D006")
 
 # Directories (relative to the repo root) whose code feeds deterministic
 # outputs. D002 applies only here; the other rules apply everywhere.
@@ -486,12 +493,57 @@ def rule_d005(sf: SourceFile) -> list[Finding]:
     return findings
 
 
+D006_PTR_RE = re.compile(
+    r"\b(?:const\s+)?(?:\w+\s*::\s*)*(RibEntry|PathCharacteristics)\s*\*\s*"
+    r"(?:const\s+)?(" + IDENT + r")\s*(?=[;={])"
+)
+D006_WINDOW = 20  # lines scanned on each side for an epoch stamp
+D006_STAMP_RE = re.compile(r"epoch", re.IGNORECASE)
+
+
+def rule_d006(sf: SourceFile) -> list[Finding]:
+    """Cached route/path pointers need an epoch stamp within reach.
+
+    Flags declarations that *store* a `RibEntry*` or
+    `PathCharacteristics*` (name followed by `;`, `=` or `{`) — members
+    and locals alike — unless the word "epoch" appears within
+    D006_WINDOW lines of the declaration. The stamp requirement is
+    deliberately textual: what matters is that whoever caches the
+    pointer thought about epoch boundaries, and the stamp (or the
+    invalidation call using it) is the evidence. Function declarations
+    (name followed by `(`) and container element types (`*` followed by
+    `>`) never match.
+    """
+    findings = []
+    lines = sf.raw.splitlines()
+    for m in D006_PTR_RE.finditer(sf.clean):
+        line = sf.line_of(m.start())
+        lo = max(0, line - 1 - D006_WINDOW)
+        hi = min(len(lines), line + D006_WINDOW)
+        if D006_STAMP_RE.search("\n".join(lines[lo:hi])):
+            continue
+        findings.append(
+            Finding(
+                sf.path,
+                line,
+                "D006",
+                f"cached {m.group(1)}* '{m.group(2)}' without an epoch "
+                "stamp in reach — RIB entries are rewritten at epoch "
+                "boundaries, so a held pointer reads pre-epoch routes; "
+                "stamp the cache with the world epoch (or ALLOW with the "
+                "lifetime argument)",
+            )
+        )
+    return findings
+
+
 RULES = {
     "D001": rule_d001,
     "D002": rule_d002,
     "D003": rule_d003,
     "D004": rule_d004,
     "D005": rule_d005,
+    "D006": rule_d006,
 }
 
 
