@@ -123,6 +123,28 @@ void BM_CampaignRoundMetricsOn(benchmark::State& state) {
 }
 BENCHMARK(BM_CampaignRoundMetricsOn)->Arg(1)->Arg(8)->Unit(benchmark::kMillisecond);
 
+/// The same round again with the conn layer dialing every dual-stack
+/// site under kSequential (ISSUE 9). Bounds the fallback overhead; the
+/// kNone contract — plain BM_CampaignRound stays within 3% of its
+/// pre-conn-layer baseline — is gated by perf-smoke on the committed
+/// JSON, since kNone compiles to the identical pre-ISSUE-9 code path.
+void BM_CampaignRoundFallback(benchmark::State& state) {
+  const core::World& world = shared_world();
+  core::CampaignConfig cfg = scenario::paper_campaign_config(bench_seed());
+  cfg.threads = static_cast<std::size_t>(state.range(0));
+  cfg.monitor.fallback = core::FallbackPolicy::kSequential;
+  const std::uint32_t round = world.num_rounds / 2;
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto campaign = std::make_unique<core::Campaign>(world, cfg);
+    state.ResumeTiming();
+    for (std::size_t vp = 0; vp < world.vantage_points.size(); ++vp) {
+      campaign->run_round(vp, round);
+    }
+  }
+}
+BENCHMARK(BM_CampaignRoundFallback)->Arg(1)->Arg(8)->Unit(benchmark::kMillisecond);
+
 void BM_FullCampaign(benchmark::State& state) {
   const core::World& world = shared_world();
   core::CampaignConfig cfg = scenario::paper_campaign_config(bench_seed());

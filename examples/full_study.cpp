@@ -3,7 +3,8 @@
 // figure and table of the paper's evaluation section. CSVs (tables plus
 // the raw per-VP observation dumps) land in ./full_study_out/.
 //
-// Usage: full_study [--metrics] [--config FILE] [seed] [scale] [sink]
+// Usage: full_study [--metrics] [--config FILE] [--fallback MODE]
+//                   [seed] [scale] [sink]
 //   --metrics: enable the obs:: observability layer; prints the stage /
 //   counter summary and writes full_study_out/metrics.json. Off by
 //   default — a metrics-off run is bit-identical with or without this
@@ -11,6 +12,11 @@
 //   --config FILE: load a scenario file (scenario/config_loader.h) as the
 //   run's baseline. Precedence: paper defaults < scenario file <
 //   positional arguments.
+//   --fallback MODE: none (default) | sequential | race — the conn-layer
+//   fallback policy (core/fallback.h). `none` is byte-identical to a
+//   build without the conn layer; the other modes add the fallback-tax
+//   table (full_study_out/fallback.csv) on top of the paper outputs,
+//   which stay byte-identical across all three modes.
 //   sink: sharded (default) | mutex | spool — the ingest backend; a pure
 //   performance/memory knob, every backend emits identical bytes. spool
 //   streams observations to full_study_out/*.spool during the campaign
@@ -22,6 +28,7 @@
 #include <fstream>
 #include <vector>
 
+#include "analysis/fallback_view.h"
 #include "analysis/longitudinal.h"
 #include "analysis/tables.h"
 #include "core/campaign.h"
@@ -49,6 +56,14 @@ core::SinkBackend parse_sink(const char* arg) {
   std::exit(2);
 }
 
+core::FallbackPolicy parse_fallback(const char* arg) {
+  if (std::strcmp(arg, "none") == 0) return core::FallbackPolicy::kNone;
+  if (std::strcmp(arg, "sequential") == 0) return core::FallbackPolicy::kSequential;
+  if (std::strcmp(arg, "race") == 0) return core::FallbackPolicy::kRace;
+  std::fprintf(stderr, "unknown fallback '%s' (want none|sequential|race)\n", arg);
+  std::exit(2);
+}
+
 /// Stream one store's observation dump straight to disk — no
 /// materialized copy, however many million rows the campaign produced.
 void dump_observations(const core::ResultsDb& db, const std::string& name) {
@@ -70,6 +85,7 @@ void dump_observations(const core::ResultsDb& db, const std::string& name) {
 int main(int argc, char** argv) {
   bool with_metrics = false;
   const char* config_path = nullptr;
+  const char* fallback_arg = nullptr;
   std::vector<const char*> pos;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--metrics") == 0) {
@@ -80,6 +96,12 @@ int main(int argc, char** argv) {
         return 2;
       }
       config_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--fallback") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--fallback needs none|sequential|race\n");
+        return 2;
+      }
+      fallback_arg = argv[++i];
     } else {
       pos.push_back(argv[i]);
     }
@@ -129,6 +151,9 @@ int main(int argc, char** argv) {
     cfg.seed = seed;
   }
   if (pos.size() > 2) cfg.sink = parse_sink(pos[2]);
+  // The flag overrides a scenario file's fallback.policy, like the
+  // positional seed/scale/sink do their keys.
+  if (fallback_arg != nullptr) cfg.monitor.fallback = parse_fallback(fallback_arg);
   if (cfg.sink == core::SinkBackend::kSpool) {
     util::write_file("full_study_out/.spool_dir", "");  // ensure dir exists
     cfg.spool_dir = "full_study_out";
@@ -189,6 +214,14 @@ int main(int argc, char** argv) {
        analysis::table12_render(analysis::table11_dp(w6d_reports)), "table12.csv");
   show("Table 13: good-AS coverage of DP paths",
        analysis::table13_render(analysis::table13_good_as(reports)), "table13.csv");
+
+  // Fallback-enabled runs get the user-experience table on top; the
+  // paper tables above are byte-identical across all three policies.
+  if (cfg.monitor.fallback != core::FallbackPolicy::kNone) {
+    show("Fallback tax: user-experienced connectivity",
+         analysis::fallback_table(analysis::fallback_reports(campaign)),
+         "fallback.csv");
+  }
 
   // Evolving-world runs get the longitudinal view on top: per-epoch
   // adoption and SL/DL/SP/DP shares (the Fig. 3-shaped growth table),

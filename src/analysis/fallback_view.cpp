@@ -1,0 +1,43 @@
+#include "analysis/fallback_view.h"
+
+namespace v6mon::analysis {
+
+std::vector<FallbackVpReport> fallback_reports(const core::Campaign& campaign) {
+  const core::World& world = campaign.world();
+  std::vector<FallbackVpReport> reports;
+  reports.reserve(world.vantage_points.size());
+  for (std::size_t vp = 0; vp < world.vantage_points.size(); ++vp) {
+    FallbackVpReport r;
+    r.name = world.vantage_points[vp].name;
+    r.policy = campaign.config().monitor.fallback;
+    r.conn = campaign.fallback_stats(vp);
+    r.dns = campaign.dns_stats(vp);
+    reports.push_back(std::move(r));
+  }
+  return reports;
+}
+
+util::TextTable fallback_table(const std::vector<FallbackVpReport>& reports) {
+  util::TextTable table({"vantage", "policy", "dialed", "reached", "via v6",
+                         "fell back", "unreachable", "v6 timeout", "v6 reset",
+                         "v6 no-route", "mean wait ms", "added tax ms",
+                         "dns loss"});
+  for (const FallbackVpReport& r : reports) {
+    const core::FallbackStats& c = r.conn;
+    table.add_row({r.name, core::fallback_policy_name(r.policy),
+                   util::TextTable::count(c.evaluated),
+                   util::TextTable::percent(r.success_rate()),
+                   util::TextTable::count(c.used_v6),
+                   util::TextTable::percent(r.fallback_rate()),
+                   util::TextTable::count(c.both_failed),
+                   util::TextTable::count(c.v6_timeout),
+                   util::TextTable::count(c.v6_reset),
+                   util::TextTable::count(c.v6_noroute),
+                   util::TextTable::num(r.mean_user_latency_ms(), 2),
+                   util::TextTable::num(r.mean_added_latency_ms(), 2),
+                   util::TextTable::percent(r.dns_timeout_rate(), 2)});
+  }
+  return table;
+}
+
+}  // namespace v6mon::analysis

@@ -96,8 +96,19 @@ Campaign::Campaign(const World& world, CampaignConfig config)
   for (std::size_t vp = 0; vp < world_.vantage_points.size(); ++vp) {
     init_store(stores_.emplace_back(), vp, "");
     init_store(w6d_stores_.emplace_back(), vp, "_w6d");
+    dns_tallies_.emplace_back();
     monitors_.emplace_back(world_, world_.vantage_points[vp], config_.monitor);
   }
+}
+
+dns::Resolver::Stats Campaign::dns_stats(std::size_t vp_index) const {
+  const DnsTally& t = dns_tallies_.at(vp_index);
+  dns::Resolver::Stats s;
+  s.queries = t.queries.load(std::memory_order_relaxed);
+  s.cache_hits = t.cache_hits.load(std::memory_order_relaxed);
+  s.timeouts = t.timeouts.load(std::memory_order_relaxed);
+  s.nxdomain = t.nxdomain.load(std::memory_order_relaxed);
+  return s;
 }
 
 Campaign::Campaign(WorldTimeline& timeline, CampaignConfig config)
@@ -152,6 +163,17 @@ void Campaign::run_sites(std::size_t vp_index, std::uint32_t round,
     const Observation obs = monitor.monitor_site(
         site, round, resolver, root.child("monitor", key), lane.paths());
     lane.count(round, obs.status);
+    // Per-VP DNS accounting (ISSUE 9 satellite): resolvers are per-site
+    // temporaries, so their Stats would otherwise vanish here. Relaxed
+    // adds of per-site totals — deterministic whatever the schedule.
+    {
+      const dns::Resolver::Stats& ds = resolver.stats();
+      DnsTally& tally = dns_tallies_[vp_index];
+      tally.queries.fetch_add(ds.queries, std::memory_order_relaxed);
+      tally.cache_hits.fetch_add(ds.cache_hits, std::memory_order_relaxed);
+      tally.timeouts.fetch_add(ds.timeouts, std::memory_order_relaxed);
+      tally.nxdomain.fetch_add(ds.nxdomain, std::memory_order_relaxed);
+    }
     auto& metrics = obs::metrics();
     const auto& ids = campaign_metric_ids();
     metrics.add(ids.sites_monitored);

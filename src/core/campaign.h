@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <deque>
 #include <memory>
 #include <string>
@@ -96,6 +97,21 @@ class Campaign {
   [[nodiscard]] const World& world() const { return world_; }
   [[nodiscard]] const CampaignConfig& config() const { return config_; }
 
+  /// Conn-layer verdict totals for one vantage point (ISSUE 9; zeros
+  /// under FallbackPolicy::kNone). Deterministic across threads and sink
+  /// backends. Quiescent callers only — between rounds or after run().
+  [[nodiscard]] FallbackStats fallback_stats(std::size_t vp_index) const {
+    return monitors_.at(vp_index).fallback_stats();
+  }
+
+  /// Per-vantage-point DNS resolver totals, aggregated over every
+  /// (site, round) resolver the campaign created — regular and W6D
+  /// rounds together. Each field is a sum of per-site counts (pure
+  /// functions of the seed), so the totals are deterministic across
+  /// threads and sinks; the same numbers feed the global dns.* metrics
+  /// counters, which lose the per-VP split this keeps.
+  [[nodiscard]] dns::Resolver::Stats dns_stats(std::size_t vp_index) const;
+
   /// End ingest and build the analysis views: close sinks (replaying
   /// spool files for the kSpool backend) and finalize every ResultsDb.
   /// Call after all runs, before analysis. Idempotent; no run_round /
@@ -153,9 +169,20 @@ class Campaign {
   /// work-stealing counter, not fixed chunks, so a straggler (dual-stack
   /// site with a long CI loop) only ever delays its own worker.
   ThreadPool pool_;
+  /// Per-VP DNS totals (see dns_stats). Relaxed atomics: workers add
+  /// their site-resolver's counts after each monitor_site; sums of
+  /// non-negative integers are schedule-independent.
+  struct DnsTally {
+    std::atomic<std::uint64_t> queries{0};
+    std::atomic<std::uint64_t> cache_hits{0};
+    std::atomic<std::uint64_t> timeouts{0};
+    std::atomic<std::uint64_t> nxdomain{0};
+  };
+
   /// Deques: VpStore holds a mutex and is therefore immovable.
   std::deque<VpStore> stores_;
   std::deque<VpStore> w6d_stores_;
+  std::deque<DnsTally> dns_tallies_;
   std::vector<Monitor> monitors_;
   SiteScanIndex scan_;
   bool finalized_ = false;

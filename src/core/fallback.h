@@ -1,0 +1,126 @@
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "transport/connection.h"
+
+namespace v6mon::core {
+
+/// How the monitor's simulated client reacts when the IPv6 connection
+/// path is broken (ISSUE 9). A pure observation layer: whatever the
+/// policy, the measurement pipeline and its draw streams are untouched —
+/// the conn layer draws from its own child stream — so observation bytes
+/// are identical across all three modes.
+enum class FallbackPolicy : std::uint8_t {
+  kNone = 0,    ///< No conn layer at all — the pre-ISSUE-9 pipeline,
+                ///< byte-identical including metrics.
+  kSequential,  ///< The 2011-era browser: dial IPv6 first, fall back to
+                ///< IPv4 only after the v6 retry budget exhausts.
+  kRace,        ///< Happy-Eyeballs: dual-stack race, IPv6 gets a
+                ///< configurable head start; ties go to IPv6.
+};
+
+[[nodiscard]] constexpr const char* fallback_policy_name(FallbackPolicy p) {
+  switch (p) {
+    case FallbackPolicy::kNone: return "none";
+    case FallbackPolicy::kSequential: return "sequential";
+    case FallbackPolicy::kRace: return "race";
+  }
+  return "?";
+}
+
+/// What the user would have felt: per-vantage-point tallies of the conn
+/// layer's verdicts over every dual-stack site that reached connection
+/// establishment (both A and AAAA answered; DNS-level losses are the
+/// monitor.status.* counters' concern). All fields are uint64 sums —
+/// commutative and associative — so totals are byte-identical however
+/// sites are scheduled across threads.
+struct FallbackStats {
+  std::uint64_t evaluated = 0;     ///< Dual-stack sites dialed.
+  std::uint64_t user_success = 0;  ///< Connected over either family.
+  std::uint64_t used_v6 = 0;       ///< Final connection ran over IPv6.
+  std::uint64_t fell_back = 0;     ///< IPv6 failed (or lost the race) and
+                                   ///< IPv4 carried the connection.
+  std::uint64_t both_failed = 0;
+  /// Terminal IPv6 error taxonomy, one per evaluated site whose v6
+  /// chain *failed*. Invariants: evaluated == user_success + both_failed,
+  /// user_success == used_v6 + fell_back, and
+  /// used_v6 + v6_timeout + v6_reset + v6_noroute <= evaluated — strict
+  /// under kRace, where a v6 chain can connect and still lose to the
+  /// staggered v4 dial (fell_back without a v6 error).
+  std::uint64_t v6_timeout = 0;
+  std::uint64_t v6_reset = 0;
+  std::uint64_t v6_noroute = 0;
+  /// Σ max(0, user wait − ideal IPv4 handshake) over user_success sites,
+  /// in integer microseconds — the "fallback tax". Accumulated as
+  /// integers so cross-thread summation stays exact and order-free.
+  std::uint64_t added_latency_us = 0;
+  /// Σ user wait over user_success sites (microseconds).
+  std::uint64_t user_latency_us = 0;
+
+  void merge(const FallbackStats& o) {
+    evaluated += o.evaluated;
+    user_success += o.user_success;
+    used_v6 += o.used_v6;
+    fell_back += o.fell_back;
+    both_failed += o.both_failed;
+    v6_timeout += o.v6_timeout;
+    v6_reset += o.v6_reset;
+    v6_noroute += o.v6_noroute;
+    added_latency_us += o.added_latency_us;
+    user_latency_us += o.user_latency_us;
+  }
+};
+
+/// Seconds -> the integer microseconds FallbackStats accumulates.
+[[nodiscard]] inline std::uint64_t latency_us(double seconds) {
+  return seconds <= 0.0 ? 0
+                        : static_cast<std::uint64_t>(std::llround(seconds * 1e6));
+}
+
+/// One policy's verdict for one site, before tallying.
+struct FallbackDecision {
+  bool ok = false;
+  bool used_v6 = false;
+  double user_latency_s = 0.0;  ///< Wall time until connected (ok only).
+};
+
+/// kSequential combiner: the user waits out the whole v6 chain, then —
+/// only on failure — the v4 chain on top.
+[[nodiscard]] inline FallbackDecision decide_sequential(
+    const transport::ConnOutcome& v6, const transport::ConnOutcome& v4) {
+  FallbackDecision d;
+  if (v6.ok) {
+    d.ok = true;
+    d.used_v6 = true;
+    d.user_latency_s = v6.latency_s;
+  } else if (v4.ok) {
+    d.ok = true;
+    d.user_latency_s = v6.latency_s + v4.latency_s;
+  }
+  return d;
+}
+
+/// kRace combiner: v6 dials at t = 0, v4 at t = headstart; first to
+/// connect wins, and an exact tie goes to IPv6 (the polite
+/// Happy-Eyeballs preference — pinned by the oracle tests).
+[[nodiscard]] inline FallbackDecision decide_race(
+    const transport::ConnOutcome& v6, const transport::ConnOutcome& v4,
+    double headstart_s) {
+  FallbackDecision d;
+  const bool v4_ok = v4.ok;
+  const double t6 = v6.latency_s;
+  const double t4 = headstart_s + v4.latency_s;
+  if (v6.ok && (!v4_ok || t6 <= t4)) {
+    d.ok = true;
+    d.used_v6 = true;
+    d.user_latency_s = t6;
+  } else if (v4_ok) {
+    d.ok = true;
+    d.user_latency_s = t4;
+  }
+  return d;
+}
+
+}  // namespace v6mon::core

@@ -35,6 +35,32 @@ void MonitorConfig::validate() const {
   }
   if (fetch_retries == 0) throw ConfigError("fetch_retries must be >= 1");
   if (max_parallel_sites == 0) throw ConfigError("max_parallel_sites must be >= 1");
+  // Probability and physical-quantity domains (ISSUE 9 satellite): these
+  // used to slip through and surface as contract violations (or silent
+  // clamping) deep inside the download model.
+  if (!(dns.timeout_prob >= 0.0 && dns.timeout_prob <= 1.0)) {
+    throw ConfigError("dns.timeout_prob must be in [0, 1]");
+  }
+  if (!(download.failure_prob >= 0.0 && download.failure_prob <= 1.0)) {
+    throw ConfigError("download.failure_prob must be in [0, 1]");
+  }
+  if (!(download.noise_sigma >= 0.0) || !std::isfinite(download.noise_sigma)) {
+    throw ConfigError("download.noise_sigma must be finite and non-negative");
+  }
+  if (!(download.setup_rtts >= 0.0) || !std::isfinite(download.setup_rtts)) {
+    throw ConfigError("download.setup_rtts must be finite and non-negative");
+  }
+  if (!(download.window_kB > 0.0) || !std::isfinite(download.window_kB)) {
+    throw ConfigError("download.window_kB must be finite and positive");
+  }
+  if (!(download.fixed_overhead_s >= 0.0) ||
+      !std::isfinite(download.fixed_overhead_s)) {
+    throw ConfigError("download.fixed_overhead_s must be finite and non-negative");
+  }
+  if (!(path_quality_sigma >= 0.0) || !std::isfinite(path_quality_sigma)) {
+    throw ConfigError("path_quality_sigma must be finite and non-negative");
+  }
+  conn.validate();
 }
 
 namespace {
@@ -47,6 +73,42 @@ struct MonitorMetricIds {
 const MonitorMetricIds& monitor_metric_ids() {
   static const MonitorMetricIds ids;
   return ids;
+}
+
+/// Conn-layer counters (pre-registered in kCounterNames) + the handshake
+/// latency histogram. All deterministic across threads x sinks: every
+/// add is a pure function of a (site, round) evaluation, and the
+/// histogram observes *simulated* seconds, not wall time.
+struct ConnMetricIds {
+  obs::MetricId attempts = obs::metrics().counter("conn.attempts");
+  obs::MetricId established = obs::metrics().counter("conn.established");
+  obs::MetricId fallbacks = obs::metrics().counter("conn.fallbacks");
+  obs::MetricId noroute = obs::metrics().counter("conn.noroute");
+  obs::MetricId resets = obs::metrics().counter("conn.resets");
+  obs::MetricId timeouts = obs::metrics().counter("conn.timeouts");
+  obs::MetricId handshake_hist =
+      obs::metrics().histogram("conn.handshake_seconds");
+};
+
+const ConnMetricIds& conn_metric_ids() {
+  static const ConnMetricIds ids;
+  return ids;
+}
+
+/// Fold one family's attempt chain into the conn.* metrics.
+void record_conn_metrics(const transport::ConnOutcome& o) {
+  auto& metrics = obs::metrics();
+  const ConnMetricIds& ids = conn_metric_ids();
+  metrics.add(ids.attempts, o.attempts);
+  switch (o.error) {
+    case transport::ConnError::kNone:
+      metrics.add(ids.established);
+      metrics.observe(ids.handshake_hist, o.handshake_s);
+      break;
+    case transport::ConnError::kTimeout: metrics.add(ids.timeouts); break;
+    case transport::ConnError::kReset: metrics.add(ids.resets); break;
+    case transport::ConnError::kNoRoute: metrics.add(ids.noroute); break;
+  }
 }
 
 /// Per-worker batch scratch for measure_family: overwritten in full by
@@ -76,6 +138,9 @@ Monitor::Monitor(const World& world, const VantagePoint& vp, MonitorConfig confi
       vp_(vp),
       config_(config),
       sim_(config.download),
+      conn_(config.conn),
+      conn_needs_paths_(config.fallback != FallbackPolicy::kNone),
+      fallback_(std::make_unique<FallbackAccumulator>()),
       path_cache_(std::make_unique<transport::PathCache>(
           world.graph, vp.asn, config.path_quality_sigma)) {
   // Validate before building the gate table: an out-of-domain confidence
@@ -138,37 +203,14 @@ Monitor::FamilyMeasurement Monitor::measure_family(
   return m;
 }
 
-void Monitor::resolve_addresses(const ip::Ipv4Address& v4_addr,
-                                const ip::Ipv6Address& v6_addr, bool has_v6,
-                                ResolvedSiteRow& row) const {
-  row.v4_addr = v4_addr;
-  row.v6_addr = v6_addr;
-  row.v4_route = vp_.rib.lookup_v4(v4_addr);
-  row.v6_route = has_v6 ? vp_.rib.lookup_v6(v6_addr) : nullptr;
-  // Verdict precedence matches the original inline phase 2 exactly: null
-  // v4 route, null v6 route, 6to4 without a relay leg, invalid v4 path,
-  // invalid v6 path. Routes stay recorded even on failure — origins and
-  // AS paths of the reachable side are still reported.
-  if (row.v4_route == nullptr) {
-    row.gate = MonitorStatus::kV4DownloadFailed;
-    return;
-  }
-  if (row.v6_route == nullptr) {
-    row.gate = MonitorStatus::kV6DownloadFailed;
-    return;
-  }
-
-  // Characterization + quality are pure per (path, family): served from
-  // the per-VP cache, computed once per campaign. Local copies — the 6to4
-  // adjustment below is per-destination-address, not per-path.
-  row.v4_path = path_cache_->characteristics(row.v4_route->as_path, ip::Family::kIpv4);
+bool Monitor::characterize_v6_path(ResolvedSiteRow& row) const {
   row.v6_path = path_cache_->characteristics(row.v6_route->as_path, ip::Family::kIpv6);
 
   // 6to4 anycast: the RIB's 2002::/16 route only reaches the relay — the
   // AS path *looks* 1-2 hops long. Packets then ride the IPv4 underlay to
   // the island; add that hidden leg's cost (the Table 7 artifact).
-  if (row.v6_path.valid && v6_addr.is_6to4()) {
-    const auto island = world_.origins.origin_v4(v6_addr.embedded_6to4_v4());
+  if (row.v6_path.valid && row.v6_addr.is_6to4()) {
+    const auto island = world_.origins.origin_v4(row.v6_addr.embedded_6to4_v4());
     const topo::AsLink* tunnel = nullptr;
     if (island.has_value()) {
       for (const topo::Adjacency& adj : world_.graph.adjacencies(*island)) {
@@ -180,8 +222,12 @@ void Monitor::resolve_addresses(const ip::Ipv4Address& v4_addr,
       }
     }
     if (tunnel == nullptr) {
-      row.gate = MonitorStatus::kV6DownloadFailed;  // no working relay leg
-      return;
+      // No working relay leg: the route exists but its data plane
+      // blackholes. Mark the path unusable so the conn layer (and any
+      // other reader) cannot dial it; under kNone the row's v6_path is
+      // never read when the gate fails, so this is byte-invisible.
+      row.v6_path.valid = false;
+      return false;
     }
     row.v6_path.via_tunnel = true;
     row.v6_path.rtt_ms +=
@@ -190,6 +236,48 @@ void Monitor::resolve_addresses(const ip::Ipv4Address& v4_addr,
         std::min(row.v6_path.bottleneck_kBps,
                  tunnel->metrics.bandwidth_kBps * tunnel->tunnel_bandwidth_factor);
     row.v6_path.underlying_hops += tunnel->tunnel_underlying_hops;
+  }
+  return true;
+}
+
+void Monitor::resolve_addresses(const ip::Ipv4Address& v4_addr,
+                                const ip::Ipv6Address& v6_addr, bool has_v6,
+                                ResolvedSiteRow& row) const {
+  row.v4_addr = v4_addr;
+  row.v6_addr = v6_addr;
+  row.v4_route = vp_.rib.lookup_v4(v4_addr);
+  row.v6_route = has_v6 ? vp_.rib.lookup_v6(v6_addr) : nullptr;
+  // Verdict precedence matches the original inline phase 2 exactly: null
+  // v4 route, null v6 route, 6to4 without a relay leg, invalid v4 path,
+  // invalid v6 path. Routes stay recorded even on failure — origins and
+  // AS paths of the reachable side are still reported. Under a fallback
+  // policy the surviving side's path is characterized even when the
+  // other side fails the gate (the conn layer dials it); under kNone
+  // the early returns skip exactly the work they always skipped, so the
+  // path-cache population — and its counters — are untouched.
+  if (row.v4_route == nullptr) {
+    row.gate = MonitorStatus::kV4DownloadFailed;
+    if (conn_needs_paths_ && row.v6_route != nullptr) {
+      (void)characterize_v6_path(row);
+    }
+    return;
+  }
+  if (row.v6_route == nullptr) {
+    row.gate = MonitorStatus::kV6DownloadFailed;
+    if (conn_needs_paths_) {
+      row.v4_path =
+          path_cache_->characteristics(row.v4_route->as_path, ip::Family::kIpv4);
+    }
+    return;
+  }
+
+  // Characterization + quality are pure per (path, family): served from
+  // the per-VP cache, computed once per campaign. Local copies — the 6to4
+  // adjustment is per-destination-address, not per-path.
+  row.v4_path = path_cache_->characteristics(row.v4_route->as_path, ip::Family::kIpv4);
+  if (!characterize_v6_path(row)) {
+    row.gate = MonitorStatus::kV6DownloadFailed;  // no working relay leg
+    return;
   }
   if (!row.v4_path.valid) {
     row.gate = MonitorStatus::kV4DownloadFailed;
@@ -200,6 +288,63 @@ void Monitor::resolve_addresses(const ip::Ipv4Address& v4_addr,
     return;
   }
   row.gate = MonitorStatus::kMeasured;
+}
+
+void Monitor::evaluate_fallback(const transport::PathCharacteristics* v4,
+                                const transport::PathCharacteristics* v6,
+                                util::Rng& conn_rng) {
+  // Draw order is fixed per policy — v6 first — and the stream is this
+  // site's dedicated "conn" child, so the evaluation is a pure function
+  // of (site, round, seed) whatever the schedule. kSequential only dials
+  // v4 after v6 fails, exactly as the 2011 browser would; kRace always
+  // dials both (the race runs them concurrently).
+  const transport::ConnOutcome o6 = conn_.connect(v6, conn_rng);
+  transport::ConnOutcome o4;
+  FallbackDecision d;
+  if (config_.fallback == FallbackPolicy::kSequential) {
+    if (!o6.ok) o4 = conn_.connect(v4, conn_rng);
+    d = decide_sequential(o6, o4);
+  } else {
+    o4 = conn_.connect(v4, conn_rng);
+    d = decide_race(o6, o4, config_.conn.race_headstart_s);
+  }
+
+  record_conn_metrics(o6);
+  if (o4.attempts != 0) record_conn_metrics(o4);
+
+  FallbackStats delta;
+  delta.evaluated = 1;
+  if (d.ok) {
+    delta.user_success = 1;
+    if (d.used_v6) {
+      delta.used_v6 = 1;
+    } else {
+      delta.fell_back = 1;
+      obs::metrics().add(conn_metric_ids().fallbacks);
+    }
+    // The fallback tax: what the user waited beyond a clean one-shot
+    // IPv4 handshake (the v4-only client's baseline). Clamped at zero —
+    // a fast v6 win is not a negative tax.
+    const double baseline_s =
+        (v4 != nullptr && v4->valid)
+            ? transport::ConnectionModel::handshake_seconds(*v4)
+            : 0.0;
+    delta.user_latency_us = latency_us(d.user_latency_s);
+    delta.added_latency_us = latency_us(d.user_latency_s - baseline_s);
+  } else {
+    delta.both_failed = 1;
+  }
+  if (!o6.ok) {
+    switch (o6.error) {
+      case transport::ConnError::kTimeout: delta.v6_timeout = 1; break;
+      case transport::ConnError::kReset: delta.v6_reset = 1; break;
+      case transport::ConnError::kNoRoute: delta.v6_noroute = 1; break;
+      case transport::ConnError::kNone: break;
+    }
+  }
+
+  util::LockGuard lock(fallback_->mu);
+  fallback_->stats.merge(delta);
 }
 
 void Monitor::on_world_change(const WorldChangeSummary& summary) {
@@ -332,14 +477,29 @@ Observation Monitor::monitor_site(const web::Site& site, std::uint32_t round,
     obs.v6_origin = v6_route->origin;
     if (vp_.has_as_path) obs.v6_path = paths.intern(v6_route->as_path);
   }
-  if (gate != MonitorStatus::kMeasured) {
-    obs.status = gate;
-    return obs;
-  }
   const transport::PathCharacteristics& v4_path =
       row_matches ? resolved_.v4_path(slot) : local.v4_path;
   const transport::PathCharacteristics& v6_path =
       row_matches ? resolved_.v6_path(slot) : local.v6_path;
+
+  // Conn-establishment pass (ISSUE 9): every dual-stack site that got
+  // this far is dialed per the fallback policy, gate verdict or not —
+  // broken-v6 sites are exactly the ones whose user experience the
+  // policies differ on. The conn stream is a child of the site's RNG, and
+  // deriving a child consumes no parent draws, so phases 3-4 below see
+  // the same draw sequence as a kNone run. A missing route is a null
+  // path; a routed-but-invalid path is passed through as the blackhole
+  // the conn model expects.
+  if (config_.fallback != FallbackPolicy::kNone) {
+    util::Rng conn_rng = rng.child("conn");
+    evaluate_fallback(v4_route != nullptr ? &v4_path : nullptr,
+                      v6_route != nullptr ? &v6_path : nullptr, conn_rng);
+  }
+
+  if (gate != MonitorStatus::kMeasured) {
+    obs.status = gate;
+    return obs;
+  }
 
   // --- Phase 3: identity check -------------------------------------------
   // Sizes come back from the initial page fetch of each family. The

@@ -4,16 +4,19 @@
 #include <span>
 #include <vector>
 
+#include "core/fallback.h"
 #include "core/resolved_site.h"
 #include "core/results.h"
 #include "core/vantage.h"
 #include "core/world.h"
 #include "core/world_delta.h"
 #include "dns/resolver.h"
+#include "transport/connection.h"
 #include "transport/download.h"
 #include "transport/path_cache.h"
 #include "util/rng.h"
 #include "util/stats.h"
+#include "util/thread_annotations.h"
 #include "web/site.h"
 
 namespace v6mon::core {
@@ -44,6 +47,14 @@ struct MonitorConfig {
 
   dns::Resolver::Options dns;
   transport::DownloadParams download;
+
+  /// What the simulated client does when the IPv6 connection path is
+  /// broken (ISSUE 9). kNone (the default) runs the pre-conn-layer
+  /// pipeline byte-for-byte; the other modes add a conn-establishment
+  /// pass on a dedicated RNG child stream, leaving every measurement
+  /// observation untouched.
+  FallbackPolicy fallback = FallbackPolicy::kNone;
+  transport::ConnParams conn;
 
   /// Domain checks on the pipeline constants; throws v6mon::ConfigError.
   /// In particular `max_downloads` must fit the uint16_t sample-count
@@ -83,6 +94,16 @@ class Monitor {
   /// selects is characterized exactly once per Monitor lifetime).
   [[nodiscard]] transport::PathCache::Stats path_cache_stats() const {
     return path_cache_->stats();
+  }
+
+  /// Accumulated conn-layer verdicts for this vantage point (zeros under
+  /// FallbackPolicy::kNone). Deterministic in thread count: every field
+  /// is a sum over the per-site evaluations, which are pure functions of
+  /// (site, round, seed). Quiescent callers only — take a snapshot
+  /// between rounds or after the campaign, not while workers run.
+  [[nodiscard]] FallbackStats fallback_stats() const {
+    util::LockGuard lock(fallback_->mu);
+    return fallback_->stats;
   }
 
   // --- Campaign-lifetime SoA site resolution (ISSUE 7) ------------------
@@ -158,10 +179,40 @@ class Monitor {
                          const ip::Ipv6Address& v6_addr, bool has_v6,
                          ResolvedSiteRow& row) const;
 
+  /// Characterize the v6 side of a row with a v6 route, applying the
+  /// hidden 6to4 relay leg. A 6to4 destination with no working relay
+  /// comes back with `row.v6_path.valid == false` (the route exists but
+  /// its data plane blackholes) and a false return.
+  bool characterize_v6_path(ResolvedSiteRow& row) const;
+
+  /// Conn-establishment pass for one dual-stack site (fallback !=
+  /// kNone): dial per the policy on the dedicated `conn_rng` stream,
+  /// fold the verdict into fallback_ and the conn.* metrics. Null path
+  /// pointers mean "no RIB route" for that family.
+  void evaluate_fallback(const transport::PathCharacteristics* v4,
+                         const transport::PathCharacteristics* v6,
+                         util::Rng& conn_rng);
+
+  /// Mutex-guarded FallbackStats behind a pointer so Monitor stays
+  /// movable. Merges are one short lock per dual-stack site — rare
+  /// relative to the catalog scan — and uint64 sums keep the totals
+  /// schedule-independent.
+  struct FallbackAccumulator {
+    util::Mutex mu;
+    FallbackStats stats V6MON_GUARDED_BY(mu);
+  };
+
   const World& world_;
   const VantagePoint& vp_;
   MonitorConfig config_;
   transport::DownloadSimulator sim_;
+  transport::ConnectionModel conn_;
+  /// True when the fallback policy needs routed-side paths characterized
+  /// even for rows whose phase-2 gate fails (the conn layer dials them);
+  /// false keeps resolve_addresses byte-identical to the kNone pipeline,
+  /// path-cache counters included.
+  bool conn_needs_paths_ = false;
+  std::unique_ptr<FallbackAccumulator> fallback_;
   /// Memoized characterize_path + path_quality, shared by all worker
   /// threads monitoring through this VP; lives exactly as long as the
   /// Monitor (= the Campaign), matching the graph's immutability window.

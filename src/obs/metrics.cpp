@@ -39,6 +39,12 @@ std::uint64_t next_registry_id() {
 constexpr const char* kCounterNames[] = {
     "campaign.fast_path_sites",
     "campaign.sites_monitored",
+    "conn.attempts",
+    "conn.established",
+    "conn.fallbacks",
+    "conn.noroute",
+    "conn.resets",
+    "conn.timeouts",
     "dns.cache_hits",
     "dns.nxdomain",
     "dns.queries",
@@ -235,6 +241,15 @@ std::uint64_t MetricsRegistry::counter_value(std::string_view name) {
   const auto it = std::find(counter_names_.begin(), counter_names_.end(), name);
   if (it == counter_names_.end()) return 0;
   return totals_.counters[static_cast<std::size_t>(it - counter_names_.begin())];
+}
+
+std::vector<std::uint64_t> MetricsRegistry::histogram_bins(std::string_view name) {
+  util::LockGuard lock(mu_);
+  merge_shards_locked();
+  const auto it = std::find(hist_names_.begin(), hist_names_.end(), name);
+  if (it == hist_names_.end()) return {};
+  const auto& bins = totals_.hists[static_cast<std::size_t>(it - hist_names_.begin())];
+  return std::vector<std::uint64_t>(bins.begin(), bins.end());
 }
 
 MetricsRegistry::StageTotals MetricsRegistry::stage_totals(Stage stage) {

@@ -139,6 +139,12 @@ class MetricsRegistry {
 
   // --- Inspection / export (all merge first) ---------------------------
   [[nodiscard]] std::uint64_t counter_value(std::string_view name);
+  /// Merged per-bin totals of a named histogram (empty vector when the
+  /// name was never registered). Bin *counts* of simulated-value
+  /// histograms (e.g. conn.handshake_seconds) are deterministic across
+  /// threads and merge order — the determinism tests pin them; wall-time
+  /// histograms are not.
+  [[nodiscard]] std::vector<std::uint64_t> histogram_bins(std::string_view name);
   struct StageTotals {
     std::uint64_t calls = 0;
     std::uint64_t total_ns = 0;

@@ -28,6 +28,7 @@ constexpr std::uint64_t kMaxThreads = 4096;
 constexpr std::uint64_t kMaxMiniRounds = 100000;
 constexpr std::uint64_t kMaxDownloadBudget = 65535;  // Observation sample ceiling
 constexpr std::uint64_t kMaxRounds = 0xffffffffULL - 1;  // web::kNever is reserved
+constexpr std::uint64_t kMaxConnRetries = 100;  // transport::ConnParams cap
 constexpr double kMaxScale = 100.0;
 
 [[noreturn]] void fail(std::size_t line, const std::string& what) {
@@ -86,6 +87,31 @@ core::SinkBackend parse_sink(std::string_view v, std::size_t line) {
   if (v == "sharded") return core::SinkBackend::kSharded;
   if (v == "spool") return core::SinkBackend::kSpool;
   fail(line, "expected mutex|sharded|spool, got '" + std::string(v) + "'");
+}
+
+core::FallbackPolicy parse_fallback(std::string_view v, std::size_t line) {
+  if (v == "none") return core::FallbackPolicy::kNone;
+  if (v == "sequential") return core::FallbackPolicy::kSequential;
+  if (v == "race") return core::FallbackPolicy::kRace;
+  fail(line, "expected none|sequential|race, got '" + std::string(v) + "'");
+}
+
+/// Probability value: a number outside [0, 1] is a parse error with the
+/// line attached (ISSUE 9 satellite — these used to slip through to the
+/// download model, or not even be checked at all).
+double parse_prob(std::string_view v, std::size_t line, const char* key) {
+  const double p = parse_double(v, line);
+  if (!(p >= 0.0 && p <= 1.0)) {
+    fail(line, std::string(key) + " must be in [0, 1]");
+  }
+  return p;
+}
+
+/// Non-negative physical quantity (seconds, RTTs, sigmas).
+double parse_nonneg(std::string_view v, std::size_t line, const char* key) {
+  const double x = parse_double(v, line);
+  if (!(x >= 0.0)) fail(line, std::string(key) + " must be non-negative");
+  return x;
 }
 
 }  // namespace
@@ -189,17 +215,43 @@ ScenarioSpec parse_scenario(std::string_view text) {
       if (v > 0xffffffffULL) fail(line_no, "dns.cache_rounds out of range");
       m.dns.cache_rounds = static_cast<std::uint32_t>(v);
     } else if (key == "dns.timeout_prob") {
-      m.dns.timeout_prob = parse_double(value, line_no);
+      m.dns.timeout_prob = parse_prob(value, line_no, "dns.timeout_prob");
     } else if (key == "download.setup_rtts") {
-      m.download.setup_rtts = parse_double(value, line_no);
+      m.download.setup_rtts = parse_nonneg(value, line_no, "download.setup_rtts");
     } else if (key == "download.window_kB") {
       m.download.window_kB = parse_double(value, line_no);
+      if (!(m.download.window_kB > 0.0)) {
+        fail(line_no, "download.window_kB must be positive");
+      }
     } else if (key == "download.noise_sigma") {
-      m.download.noise_sigma = parse_double(value, line_no);
+      m.download.noise_sigma = parse_nonneg(value, line_no, "download.noise_sigma");
     } else if (key == "download.failure_prob") {
-      m.download.failure_prob = parse_double(value, line_no);
+      m.download.failure_prob =
+          parse_prob(value, line_no, "download.failure_prob");
     } else if (key == "download.fixed_overhead_s") {
-      m.download.fixed_overhead_s = parse_double(value, line_no);
+      m.download.fixed_overhead_s =
+          parse_nonneg(value, line_no, "download.fixed_overhead_s");
+    } else if (key == "fallback.policy") {
+      m.fallback = parse_fallback(value, line_no);
+    } else if (key == "fallback.race_headstart_s") {
+      m.conn.race_headstart_s =
+          parse_nonneg(value, line_no, "fallback.race_headstart_s");
+    } else if (key == "conn.timeout_s") {
+      m.conn.timeout_s = parse_double(value, line_no);
+      if (!(m.conn.timeout_s > 0.0)) fail(line_no, "conn.timeout_s must be positive");
+    } else if (key == "conn.max_retries") {
+      const std::uint64_t v = parse_u64(value, line_no);
+      if (v > kMaxConnRetries) fail(line_no, "conn.max_retries out of range");
+      m.conn.max_retries = static_cast<std::size_t>(v);
+    } else if (key == "conn.backoff_base_s") {
+      m.conn.backoff_base_s = parse_nonneg(value, line_no, "conn.backoff_base_s");
+    } else if (key == "conn.backoff_mult") {
+      m.conn.backoff_mult = parse_double(value, line_no);
+      if (!(m.conn.backoff_mult >= 1.0)) {
+        fail(line_no, "conn.backoff_mult must be >= 1");
+      }
+    } else if (key == "conn.reset_prob") {
+      m.conn.reset_prob = parse_prob(value, line_no, "conn.reset_prob");
     } else if (key == "evolution.enabled") {
       spec.evolution.enabled = parse_bool(value, line_no);
     } else if (key == "evolution.delta_rate") {

@@ -1,0 +1,97 @@
+#include "transport/connection.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/contracts.h"
+#include "util/error.h"
+
+namespace v6mon::transport {
+
+namespace {
+
+/// A retry budget past this is a typo, not persistence: 100 attempts at
+/// the default 3 s timeout is a five-minute stall per site.
+constexpr std::size_t kMaxRetryBudget = 100;
+
+}  // namespace
+
+void ConnParams::validate() const {
+  if (!(timeout_s > 0.0) || !std::isfinite(timeout_s)) {
+    throw ConfigError("conn.timeout_s must be finite and positive");
+  }
+  if (max_retries > kMaxRetryBudget) {
+    throw ConfigError("conn.max_retries must be <= 100");
+  }
+  if (!(backoff_base_s >= 0.0) || !std::isfinite(backoff_base_s)) {
+    throw ConfigError("conn.backoff_base_s must be finite and non-negative");
+  }
+  if (!(backoff_mult >= 1.0) || !std::isfinite(backoff_mult)) {
+    throw ConfigError("conn.backoff_mult must be finite and >= 1");
+  }
+  if (!(reset_prob >= 0.0 && reset_prob <= 1.0)) {
+    throw ConfigError("conn.reset_prob must be in [0, 1]");
+  }
+  if (!(race_headstart_s >= 0.0) || !std::isfinite(race_headstart_s)) {
+    throw ConfigError("fallback.race_headstart_s must be finite and non-negative");
+  }
+}
+
+ConnectionModel::ConnectionModel(ConnParams params) : params_(params) {
+  params_.validate();
+}
+
+double ConnectionModel::backoff_delay_s(std::size_t k) const {
+  V6MON_REQUIRE(k >= 1 && k <= params_.max_retries,
+                "backoff index outside the retry budget");
+  return params_.backoff_base_s *
+         std::pow(params_.backoff_mult, static_cast<double>(k - 1));
+}
+
+double ConnectionModel::handshake_seconds(const PathCharacteristics& path) {
+  return std::max(path.rtt_ms, 1.0) / 1000.0;
+}
+
+ConnOutcome ConnectionModel::connect(const PathCharacteristics* path,
+                                     util::Rng& rng) const {
+  ConnOutcome out;
+  if (path == nullptr) {
+    // The RIB has no path: the local stack refuses the connect outright
+    // (EHOSTUNREACH). No retries — nothing transient about a missing
+    // route within one round — and no wall cost.
+    out.error = ConnError::kNoRoute;
+    out.attempts = 1;
+    return out;
+  }
+  // A route whose data plane is broken (missing link, relay-less 6to4)
+  // blackholes: the SYN leaves and nothing ever answers.
+  const bool blackhole = !path->valid;
+  const double handshake = handshake_seconds(*path);
+  const std::size_t max_attempts = 1 + params_.max_retries;
+  double elapsed = 0.0;
+  for (std::size_t attempt = 1; attempt <= max_attempts; ++attempt) {
+    if (attempt > 1) elapsed += backoff_delay_s(attempt - 1);
+    out.attempts = static_cast<std::uint32_t>(attempt);
+    if (blackhole || handshake >= params_.timeout_s) {
+      // Deterministic timeout: the client cannot know the path is dead,
+      // so it still burns the full deadline on every attempt.
+      elapsed += params_.timeout_s;
+      out.error = ConnError::kTimeout;
+      continue;
+    }
+    if (rng.chance(params_.reset_prob)) {
+      elapsed += handshake;  // the RST comes back in one round trip
+      out.error = ConnError::kReset;
+      continue;
+    }
+    elapsed += handshake;
+    out.ok = true;
+    out.error = ConnError::kNone;
+    out.handshake_s = handshake;
+    break;
+  }
+  out.latency_s = elapsed;
+  return out;
+}
+
+}  // namespace v6mon::transport

@@ -1,0 +1,103 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "transport/path.h"
+#include "util/rng.h"
+
+namespace v6mon::transport {
+
+/// Knobs of the connection-establishment model (ISSUE 9). One "attempt"
+/// is a TCP handshake against the routed path; a failed attempt retries
+/// after an exponential backoff until the retry budget runs out.
+struct ConnParams {
+  /// Per-attempt handshake deadline: an attempt whose SYN never answers
+  /// (blackholed path, or an RTT past the deadline) costs exactly this.
+  double timeout_s = 3.0;
+  /// Retries after the first attempt (so max_retries + 1 attempts total).
+  std::size_t max_retries = 2;
+  /// Backoff before retry k (1-based) is backoff_base_s * backoff_mult^(k-1).
+  double backoff_base_s = 0.3;
+  double backoff_mult = 2.0;
+  /// Probability an attempt is answered by an RST (stochastic, one draw
+  /// per attempt on a live path; 0 by default so the conn layer consumes
+  /// no draws in the paper configuration).
+  double reset_prob = 0.0;
+  /// kRace only: how long IPv6 runs alone before IPv4 dials (the
+  /// Happy-Eyeballs "resolution delay").
+  double race_headstart_s = 0.3;
+
+  /// Domain checks; throws v6mon::ConfigError.
+  void validate() const;
+};
+
+/// Terminal verdict of one connection attempt chain.
+enum class ConnError : std::uint8_t {
+  kNone = 0,   ///< Connected.
+  kTimeout,    ///< Every attempt hit the handshake deadline (blackhole or
+               ///< an RTT past it).
+  kReset,      ///< Final attempt was answered by an RST.
+  kNoRoute,    ///< The RIB has no path at all — fails instantly, like a
+               ///< local EHOSTUNREACH.
+};
+
+[[nodiscard]] constexpr const char* conn_error_name(ConnError e) {
+  switch (e) {
+    case ConnError::kNone: return "none";
+    case ConnError::kTimeout: return "timeout";
+    case ConnError::kReset: return "reset";
+    case ConnError::kNoRoute: return "no-route";
+  }
+  return "?";
+}
+
+/// Result of one bounded-retry connection attempt chain over one family.
+struct ConnOutcome {
+  bool ok = false;
+  ConnError error = ConnError::kNone;
+  /// Attempts consumed (1..max_retries+1; kNoRoute fails on attempt 1).
+  std::uint32_t attempts = 0;
+  /// Total wall time the chain cost the user: handshakes, timeouts and
+  /// the backoff gaps between attempts.
+  double latency_s = 0.0;
+  /// The successful handshake's RTT cost; 0 when the chain failed.
+  double handshake_s = 0.0;
+};
+
+/// Per-family connection establishment over a characterized path:
+/// handshake RTT from the routed path's latency, a deterministic timeout
+/// threshold, bounded retries with exponential backoff, and the terminal
+/// ConnError taxonomy above.
+///
+/// Determinism: the only stochastic element is the per-attempt reset
+/// draw, and `Rng::chance` consumes no draw when reset_prob is 0 or 1 —
+/// with the default reset_prob == 0 a connect() is a pure function of
+/// the path. Callers hand the model a dedicated child stream so the
+/// measurement draw sequence is untouched by the fallback policy.
+class ConnectionModel {
+ public:
+  explicit ConnectionModel(ConnParams params);
+
+  /// Dial the path. `path == nullptr` means the RIB had no route
+  /// (kNoRoute, instant); a non-null but invalid path is a route whose
+  /// data plane is broken (missing link, relay-less 6to4) — a blackhole,
+  /// so every attempt costs the full timeout.
+  [[nodiscard]] ConnOutcome connect(const PathCharacteristics* path,
+                                    util::Rng& rng) const;
+
+  /// Backoff before retry `k` (1-based, k <= max_retries). Exposed so the
+  /// schedule can be oracle-tested against the closed form.
+  [[nodiscard]] double backoff_delay_s(std::size_t k) const;
+
+  /// One handshake's wall cost over a live path: the path RTT, floored at
+  /// 1 ms (a 0-RTT path still costs a kernel round trip).
+  [[nodiscard]] static double handshake_seconds(const PathCharacteristics& path);
+
+  [[nodiscard]] const ConnParams& params() const { return params_; }
+
+ private:
+  ConnParams params_;
+};
+
+}  // namespace v6mon::transport

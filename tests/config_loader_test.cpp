@@ -73,6 +73,13 @@ TEST(ConfigLoader, EveryKeyLands) {
       "download.noise_sigma = 0.03\n"
       "download.failure_prob = 0.01\n"
       "download.fixed_overhead_s = 0.2\n"
+      "fallback.policy = race\n"
+      "fallback.race_headstart_s = 0.25\n"
+      "conn.timeout_s = 2.5\n"
+      "conn.max_retries = 3\n"
+      "conn.backoff_base_s = 0.2\n"
+      "conn.backoff_mult = 1.5\n"
+      "conn.reset_prob = 0.05\n"
       "evolution.enabled = true\n"
       "evolution.delta_rate = 2.5\n"
       "evolution.epoch_interval = 4\n"
@@ -103,6 +110,13 @@ TEST(ConfigLoader, EveryKeyLands) {
   EXPECT_DOUBLE_EQ(m.download.noise_sigma, 0.03);
   EXPECT_DOUBLE_EQ(m.download.failure_prob, 0.01);
   EXPECT_DOUBLE_EQ(m.download.fixed_overhead_s, 0.2);
+  EXPECT_EQ(m.fallback, core::FallbackPolicy::kRace);
+  EXPECT_DOUBLE_EQ(m.conn.race_headstart_s, 0.25);
+  EXPECT_DOUBLE_EQ(m.conn.timeout_s, 2.5);
+  EXPECT_EQ(m.conn.max_retries, 3u);
+  EXPECT_DOUBLE_EQ(m.conn.backoff_base_s, 0.2);
+  EXPECT_DOUBLE_EQ(m.conn.backoff_mult, 1.5);
+  EXPECT_DOUBLE_EQ(m.conn.reset_prob, 0.05);
   EXPECT_TRUE(spec.evolution.enabled);
   EXPECT_DOUBLE_EQ(spec.evolution.delta_rate, 2.5);
   EXPECT_EQ(spec.evolution.epoch_interval, 4u);
@@ -172,6 +186,46 @@ TEST(ConfigLoader, RejectsOutOfDomainValues) {
   EXPECT_THROW(parse_scenario("evolution.max_as_fraction = 0\n"), ConfigError);
   EXPECT_THROW(parse_scenario("evolution.max_as_fraction = 1.5\n"), ConfigError);
   EXPECT_THROW(parse_scenario("evolution.enabled = maybe\n"), ParseError);
+}
+
+// ISSUE 9 satellite: probability keys outside [0, 1] and negative
+// retry/backoff values used to be accepted here and only blow up (or
+// silently misbehave) deep inside the download model. They are now parse
+// errors that name the offending line.
+TEST(ConfigLoader, RejectsOutOfDomainFailureKnobsWithLineNumbers) {
+  const auto expect_fail = [](const std::string& text, const char* line_tag) {
+    try {
+      (void)parse_scenario(text);
+      FAIL() << "accepted: " << text;
+    } catch (const ParseError& e) {
+      EXPECT_NE(std::string(e.what()).find(line_tag), std::string::npos)
+          << e.what();
+    }
+  };
+  expect_fail("download.failure_prob = 1.5\n", "line 1");
+  expect_fail("download.failure_prob = -0.1\n", "line 1");
+  expect_fail("\ndns.timeout_prob = 2\n", "line 2");
+  expect_fail("dns.timeout_prob = -1\n", "line 1");
+  expect_fail("download.noise_sigma = -0.5\n", "line 1");
+  expect_fail("download.setup_rtts = -1\n", "line 1");
+  expect_fail("download.window_kB = 0\n", "line 1");
+  expect_fail("download.fixed_overhead_s = -0.01\n", "line 1");
+  // Conn-layer keys share the contract.
+  expect_fail("conn.timeout_s = 0\n", "line 1");
+  expect_fail("conn.timeout_s = -2\n", "line 1");
+  expect_fail("conn.max_retries = 101\n", "line 1");
+  expect_fail("conn.backoff_base_s = -0.3\n", "line 1");
+  expect_fail("conn.backoff_mult = 0.9\n", "line 1");
+  expect_fail("conn.reset_prob = 1.01\n", "line 1");
+  expect_fail("fallback.race_headstart_s = -0.3\n", "line 1");
+  expect_fail("fallback.policy = eyeballs\n", "line 1");
+  // In-domain boundary values parse fine.
+  EXPECT_DOUBLE_EQ(
+      parse_scenario("download.failure_prob = 1\n").campaign.monitor.download.failure_prob,
+      1.0);
+  EXPECT_DOUBLE_EQ(
+      parse_scenario("dns.timeout_prob = 0\n").campaign.monitor.dns.timeout_prob,
+      0.0);
 }
 
 TEST(ConfigLoader, InputBoundsHold) {

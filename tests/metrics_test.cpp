@@ -88,6 +88,28 @@ TEST(Metrics, ThreadedCountsMergeExactly) {
   EXPECT_GE(reg.shard_count(), 1u);
 }
 
+TEST(Metrics, HistogramBinsAccessorExposesMergedCounts) {
+  // histogram_bins() is the determinism-matrix hook for simulated-value
+  // histograms (conn.handshake_seconds): per-bin counts, merged across
+  // shards, with an empty vector for a name never registered.
+  obs::MetricsRegistry reg;
+  reg.set_enabled(true);
+  EXPECT_TRUE(reg.histogram_bins("no.such.histogram").empty());
+  const obs::MetricId h = reg.histogram("t.hist");
+  reg.observe(h, 0.001);
+  reg.observe(h, 0.001);
+  reg.observe(h, 10.0);
+  const std::vector<std::uint64_t> bins = reg.histogram_bins("t.hist");
+  ASSERT_FALSE(bins.empty());
+  std::uint64_t total = 0, nonzero = 0;
+  for (const std::uint64_t b : bins) {
+    total += b;
+    if (b != 0) ++nonzero;
+  }
+  EXPECT_EQ(total, 3u);
+  EXPECT_EQ(nonzero, 2u);  // the two samples land in distinct bins
+}
+
 TEST(Metrics, ResetZeroesValuesButKeepsRegistrations) {
   obs::MetricsRegistry reg;
   reg.set_enabled(true);
@@ -185,6 +207,24 @@ TEST(MonitorConfigValidate, RejectsOutOfDomainConstants) {
   expect_bad([](core::MonitorConfig& c) { c.identity_threshold = -0.1; });
   expect_bad([](core::MonitorConfig& c) { c.fetch_retries = 0; });
   expect_bad([](core::MonitorConfig& c) { c.max_parallel_sites = 0; });
+  // Failure-injection and conn-layer domains (ISSUE 9): out-of-range
+  // probabilities and negative physical quantities must die here, not
+  // deep inside the download/connection models.
+  expect_bad([](core::MonitorConfig& c) { c.dns.timeout_prob = 1.5; });
+  expect_bad([](core::MonitorConfig& c) { c.dns.timeout_prob = -0.1; });
+  expect_bad([](core::MonitorConfig& c) { c.download.failure_prob = 2.0; });
+  expect_bad([](core::MonitorConfig& c) { c.download.failure_prob = -1.0; });
+  expect_bad([](core::MonitorConfig& c) { c.download.noise_sigma = -0.2; });
+  expect_bad([](core::MonitorConfig& c) { c.download.setup_rtts = -1.0; });
+  expect_bad([](core::MonitorConfig& c) { c.download.window_kB = 0.0; });
+  expect_bad([](core::MonitorConfig& c) { c.download.fixed_overhead_s = -0.5; });
+  expect_bad([](core::MonitorConfig& c) { c.path_quality_sigma = -0.1; });
+  expect_bad([](core::MonitorConfig& c) { c.conn.timeout_s = 0.0; });
+  expect_bad([](core::MonitorConfig& c) { c.conn.reset_prob = 1.5; });
+  expect_bad([](core::MonitorConfig& c) { c.conn.backoff_mult = 0.0; });
+  expect_bad([](core::MonitorConfig& c) { c.conn.backoff_base_s = -0.1; });
+  expect_bad([](core::MonitorConfig& c) { c.conn.race_headstart_s = -1.0; });
+  expect_bad([](core::MonitorConfig& c) { c.conn.max_retries = 1000; });
 }
 
 // ---------------------------------------------------------------------------
@@ -261,6 +301,10 @@ CampaignRun run_instrumented(std::size_t threads, core::SinkBackend backend,
   cfg.seed = 2011;
   cfg.threads = threads;
   cfg.sink = backend;
+  // DNS timeout injection rides along so the dns.timeouts export is
+  // pinned by the same matrix (ISSUE 9: the per-resolver Stats must
+  // reach the registry deterministically).
+  cfg.monitor.dns.timeout_prob = 0.05;
   if (backend == core::SinkBackend::kSpool) cfg.spool_dir = spool_dir();
   core::Campaign campaign(small_world(), cfg);
   campaign.run();
@@ -282,6 +326,9 @@ TEST(MetricsDeterminism, CountersIdenticalAcrossThreadsAndBackends) {
   // test compares empty exports: "sites_monitored" must not read 0.
   EXPECT_EQ(reference.counters.find("\"campaign.sites_monitored\":0,"),
             std::string::npos);
+  // The injected DNS loss must be visible in the export — a zero here
+  // means Resolver::Stats::timeouts never reached the registry.
+  EXPECT_EQ(reference.counters.find("\"dns.timeouts\":0,"), std::string::npos);
   for (const std::size_t threads : {std::size_t{1}, std::size_t{8}}) {
     for (const core::SinkBackend backend :
          {core::SinkBackend::kMutex, core::SinkBackend::kSharded,
