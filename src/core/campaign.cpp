@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <thread>
 
+#include "core/executor.h"
 #include "core/spool.h"
 #include "core/thread_pool.h"
 #include "core/world_timeline.h"
@@ -41,6 +42,31 @@ struct CampaignMetricIds {
 const CampaignMetricIds& campaign_metric_ids() {
   static const CampaignMetricIds ids;
   return ids;
+}
+
+/// Dispatch key of a (vantage point, round) node in an *evolving*
+/// campaign: rounds are the major axis so the ready-queue prefers the
+/// pipeline frontier (low rounds finish first, unblocking their
+/// successors and the next epoch gate); the VP index breaks ties
+/// deterministically. Gate nodes take slot 0 of their round, ahead of
+/// the round's VP nodes. Rounds are capped at 2^20 by the spool format,
+/// so a 20-bit VP field can never collide with the next round.
+[[nodiscard]] std::uint64_t node_key(std::uint32_t round, std::size_t vp_slot) {
+  return (static_cast<std::uint64_t>(round) << 20) |
+         static_cast<std::uint64_t>(vp_slot);
+}
+
+/// Dispatch key in a *frozen* campaign (no gate nodes): VPs are the
+/// major axis, so a 1-thread pool replays the legacy VP-major frozen
+/// loop exactly and — more importantly — each vantage point's working
+/// set (monitor, resolved-site table, store) stays cache-hot through
+/// consecutive rounds instead of being evicted by six other VPs every
+/// round. Outputs are schedule-invariant either way (the determinism
+/// matrix pins it); the key choice is purely a locality decision.
+[[nodiscard]] std::uint64_t node_key_vp_major(std::uint32_t round,
+                                              std::size_t vp) {
+  return (static_cast<std::uint64_t>(vp) << 20) |
+         static_cast<std::uint64_t>(round);
 }
 
 }  // namespace
@@ -147,7 +173,7 @@ void Campaign::run_sites(std::size_t vp_index, std::uint32_t round,
     monitor.assign_resolve_slots(sites, round);
   }
 
-  parallel_index(pool_, sites.size(), [&](std::size_t i) {
+  const auto monitor_one = [&](std::size_t i) {
     // The worker's private lane: recording and counting touch no shared
     // state; path ids are canonicalized at the round-boundary flush.
     ObservationSink::Lane& lane = sink.lane();
@@ -185,7 +211,19 @@ void Campaign::run_sites(std::size_t vp_index, std::uint32_t round,
       lane.record(obs);
       metrics.add(ids.ingest_rows);
     }
-  });
+  };
+  if (graph_inline_sites_) {
+    // Executor-scheduled round with enough concurrent (vp, round) nodes
+    // to cover every pool worker: fanning sites out would only enqueue
+    // helpers that contend with other VPs' nodes for the same workers,
+    // paying a submit + wakeup round-trip per block for nothing. Run the
+    // site loop on this node's thread; the graph supplies the
+    // parallelism. Same fn(i) sequence as parallel_index's serial path,
+    // so the observables cannot tell the difference.
+    for (std::size_t i = 0; i < sites.size(); ++i) monitor_one(i);
+  } else {
+    parallel_index(pool_, sites.size(), monitor_one);
+  }
   // Round boundary: merge every worker shard into the backing store (or
   // stream it to the spool) in one deterministic pass.
   {
@@ -264,14 +302,89 @@ void Campaign::run_round(std::size_t vp_index, std::uint32_t round) {
   sink.count_listed(round, listed);
 
   // Randomize monitoring order (the paper randomizes per round to avoid
-  // time-of-day bias).
-  util::Rng order = util::Rng(config_.seed).child("order", (vp_index << 20) | round);
+  // time-of-day bias). Chained derivation — one child per key component
+  // — so no (vp, round) pair can alias another however large either
+  // grows. (The packed `(vp << 20) | round` key this replaces collided
+  // at the spool format's round cap: vp=0, round=2^20 shuffled
+  // identically to vp=1, round=0.) The shuffle only permutes the work
+  // list; every observable is keyed by (site, round), so outputs are
+  // byte-identical under the rekey — tests/determinism_test.cpp pins the
+  // executor/threads/sink matrix against the serial mutex reference and
+  // tests/rng_test.cpp pins the collision-freedom itself.
+  util::Rng order =
+      util::Rng(config_.seed).child("order", vp_index).child("round", round);
   order.shuffle(work);
 
   run_sites(vp_index, round, work, sink, /*salt=*/0);
 }
 
+bool Campaign::graph_covers_pool() const {
+  // With at least half a node per worker the graph keeps the pool busy
+  // on its own: any extra per-node fan-out would merely queue helpers
+  // behind other VPs' nodes. Below that (few VPs, wide pool) the nodes
+  // cannot saturate the workers, so sites still fan out inside each
+  // node — two-level scheduling.
+  return world_.vantage_points.size() >= 2 &&
+         config_.threads < 2 * world_.vantage_points.size();
+}
+
 void Campaign::run() {
+  if (!config_.use_executor) {
+    run_barriered();
+    return;
+  }
+  // Dependency-graph schedule (DESIGN.md §15). Chain nodes per vantage
+  // point — (vp, r) waits only on (vp, r-1) — so VPs pipeline through
+  // their rounds concurrently. Every *pending* epoch round e gets one
+  // advance_world(e) gate node wedged into all chains: it waits on every
+  // (vp, r < e) node and gates every (vp, r >= e) node, which is exactly
+  // the barrier the legacy round-major loop imposed — but only at epoch
+  // rounds, not at all of them. run_round's own pending-epoch REQUIRE
+  // stays satisfied on every schedule the edges admit.
+  const std::size_t num_vps = world_.vantage_points.size();
+  if (num_vps == 0) return;
+  V6MON_REQUIRE(num_vps < (1u << 20), "vantage point count exceeds key space");
+  std::vector<std::uint32_t> gates;
+  if (timeline_ != nullptr) {
+    for (const std::uint32_t r : timeline_->pending_epoch_rounds()) {
+      if (r <= world_.num_rounds) gates.push_back(r);
+    }
+  }
+  Executor exec(pool_);
+  std::vector<Executor::NodeId> prev(num_vps, Executor::kNoNode);
+  Executor::NodeId prev_gate = Executor::kNoNode;
+  std::size_t next_gate = 0;
+  for (std::uint32_t round = 0; round <= world_.num_rounds; ++round) {
+    Executor::NodeId gate = Executor::kNoNode;
+    if (next_gate < gates.size() && gates[next_gate] == round) {
+      ++next_gate;
+      gate = exec.add(node_key(round, 0),
+                      [this, round] { advance_world(round); });
+      // Gates chain (epochs apply in order) and wait for every VP's
+      // previous round — the world may only move while no measurement
+      // is in flight, the same quiescence the sinks' flush relies on.
+      if (prev_gate != Executor::kNoNode) exec.add_edge(prev_gate, gate);
+      for (std::size_t vp = 0; vp < num_vps; ++vp) {
+        if (prev[vp] != Executor::kNoNode) exec.add_edge(prev[vp], gate);
+      }
+      prev_gate = gate;
+    }
+    for (std::size_t vp = 0; vp < num_vps; ++vp) {
+      const std::uint64_t key = gates.empty() ? node_key_vp_major(round, vp)
+                                              : node_key(round, vp + 1);
+      const Executor::NodeId node =
+          exec.add(key, [this, vp, round] { run_round(vp, round); });
+      if (prev[vp] != Executor::kNoNode) exec.add_edge(prev[vp], node);
+      if (gate != Executor::kNoNode) exec.add_edge(gate, node);
+      prev[vp] = node;
+    }
+  }
+  graph_inline_sites_ = graph_covers_pool();
+  exec.run();
+  graph_inline_sites_ = false;
+}
+
+void Campaign::run_barriered() {
   if (timeline_ == nullptr || timeline_->empty()) {
     // Frozen world: the original vantage-point-major loop, untouched —
     // an empty-delta campaign runs exactly the pre-epoch code path.
@@ -293,6 +406,44 @@ void Campaign::run() {
   }
 }
 
+void Campaign::run_w6d_for_vp(std::size_t vp_index,
+                              const std::vector<std::uint32_t>& participants) {
+  VpStore& store = w6d_stores_[vp_index];
+  util::LockGuard epoch(store.epoch_mu);
+  // The monitor (and its resolved-site table) is shared with regular
+  // rounds, and run_sites below may grow the table: take the regular
+  // store's epoch mutex too, so all table mutation for this VP
+  // serializes on one lock order (w6d store first, regular store second).
+  util::LockGuard regular_epoch(stores_[vp_index].epoch_mu);
+  for (std::size_t mini = 0; mini < config_.w6d_mini_rounds; ++mini) {
+    // All mini-rounds happen at the W6D calendar round (same DNS state)
+    // but with independent randomness. Each run_sites call is one
+    // ingest epoch, flushed at its end, so a site's mini-round
+    // observations land in mini order.
+    run_sites(vp_index, world_.w6d_round, participants, *store.sink,
+              /*salt=*/0x60d00000ULL + mini);
+  }
+}
+
+void Campaign::run_w6d_on_graph(const std::vector<std::uint32_t>& participants) {
+  // One node per participating vantage point, no edges: a VP's whole
+  // mini-round sequence is one node, so mini ordering and the w6d-store
+  // -> regular-store lock order are inherited verbatim from the legacy
+  // path while different VPs' events run concurrently.
+  Executor exec(pool_);
+  bool any = false;
+  for (std::size_t vp = 0; vp < world_.vantage_points.size(); ++vp) {
+    if (world_.vantage_points[vp].start_round > world_.w6d_round) continue;
+    exec.add(node_key(0, vp + 1),
+             [this, vp, &participants] { run_w6d_for_vp(vp, participants); });
+    any = true;
+  }
+  if (!any) return;
+  graph_inline_sites_ = graph_covers_pool();
+  exec.run();
+  graph_inline_sites_ = false;
+}
+
 void Campaign::run_w6d() {
   if (world_.w6d_round == web::kNever) return;
   V6MON_REQUIRE(!finalized_, "run_w6d after finalize()");
@@ -304,23 +455,13 @@ void Campaign::run_w6d() {
   for (const web::Site& s : world_.catalog.sites()) {
     if (s.w6d_participant) participants.push_back(s.id);
   }
+  if (config_.use_executor) {
+    run_w6d_on_graph(participants);
+    return;
+  }
   for (std::size_t vp = 0; vp < world_.vantage_points.size(); ++vp) {
     if (world_.vantage_points[vp].start_round > world_.w6d_round) continue;
-    VpStore& store = w6d_stores_[vp];
-    util::LockGuard epoch(store.epoch_mu);
-    // The monitor (and its resolved-site table) is shared with regular
-    // rounds, and run_sites below may grow the table: take the regular
-    // store's epoch mutex too, so all table mutation for this VP
-    // serializes on one lock order (w6d store first, regular store second).
-    util::LockGuard regular_epoch(stores_[vp].epoch_mu);
-    for (std::size_t mini = 0; mini < config_.w6d_mini_rounds; ++mini) {
-      // All mini-rounds happen at the W6D calendar round (same DNS state)
-      // but with independent randomness. Each run_sites call is one
-      // ingest epoch, flushed at its end, so a site's mini-round
-      // observations land in mini order.
-      run_sites(vp, world_.w6d_round, participants, *store.sink,
-                /*salt=*/0x60d00000ULL + mini);
-    }
+    run_w6d_for_vp(vp, participants);
   }
 }
 

@@ -42,6 +42,12 @@ struct CampaignConfig {
   /// Results-ingest backend; a pure performance/memory knob (every
   /// backend reproduces the same bytes).
   SinkBackend sink = SinkBackend::kSharded;
+  /// Schedule run()/run_w6d() as a core::Executor dependency graph (one
+  /// node per (vantage point, round) block, world advances as gate
+  /// nodes) instead of the legacy barriered loops. Pure scheduling knob:
+  /// observables are byte-identical either way (the determinism matrix
+  /// pins it); off exists for A/B benchmarking and bisection.
+  bool use_executor = true;
   /// Directory for SinkBackend::kSpool files (vp<i>.spool and
   /// vp<i>_w6d.spool). Must exist and be writable.
   std::string spool_dir = ".";
@@ -62,12 +68,19 @@ class Campaign {
   /// byte-identical output, no epoch machinery on any path.
   Campaign(WorldTimeline& timeline, CampaignConfig config);
 
-  /// Run all regular rounds for all vantage points. With a non-empty
-  /// timeline the loop is round-major (all vantage points finish round r
-  /// before the world may advance past it); otherwise it is the original
-  /// vantage-point-major loop. Observation bytes are identical either
-  /// way — every RNG stream is keyed by (vp, round, site), never by
-  /// schedule order.
+  /// Run all regular rounds for all vantage points. With
+  /// `config.use_executor` (the default) the rounds execute as a
+  /// dependency graph: each (vantage point, round) block is an Executor
+  /// node depending on the same VP's previous round, so different VPs'
+  /// rounds pipeline concurrently; a non-empty timeline adds one
+  /// `advance_world(e)` gate node per pending epoch round e, depending
+  /// on every (vp, r < e) node and gating every (vp, r >= e) node — all
+  /// VPs observe round r under the same world version, exactly as the
+  /// legacy loops guaranteed with barriers. With the knob off the
+  /// original loops run: vantage-point-major for a frozen world,
+  /// round-major with a per-round advance for an evolving one.
+  /// Observation bytes are identical across all of it — every RNG
+  /// stream is keyed by (vp, round, site), never by schedule order.
   void run();
 
   /// Apply every pending world epoch with epoch round <= `round`:
@@ -154,6 +167,19 @@ class Campaign {
                  const std::vector<std::uint32_t>& sites, ObservationSink& sink,
                  std::uint64_t salt);
 
+  /// The legacy (pre-executor) run loops, kept verbatim for A/B
+  /// benchmarking and as the bisection reference.
+  void run_barriered();
+  void run_w6d_for_vp(std::size_t vp_index,
+                      const std::vector<std::uint32_t>& participants);
+  /// Graph-mode w6d path (config_.use_executor); the regular-round graph
+  /// is built directly in run().
+  void run_w6d_on_graph(const std::vector<std::uint32_t>& participants);
+  /// Whether executor-scheduled nodes should run their site loop inline
+  /// (when graph-level VP parallelism already covers the pool) or fan
+  /// sites out through parallel_index. Pure scheduling choice.
+  [[nodiscard]] bool graph_covers_pool() const;
+
   /// Fill in config.threads when left at 0 (done before pool_ spins up).
   static CampaignConfig resolve(CampaignConfig config);
 
@@ -186,6 +212,14 @@ class Campaign {
   std::vector<Monitor> monitors_;
   SiteScanIndex scan_;
   bool finalized_ = false;
+  /// True while an executor graph is driving this campaign AND the
+  /// graph's node-level parallelism saturates the pool: run_sites then
+  /// loops sites inline on the node's thread instead of paying a
+  /// parallel_index fan-out whose helpers would find no free worker.
+  /// Written only by the coordinator before/after Executor::run()
+  /// (published to node threads through the pool's submission mutex);
+  /// purely a scheduling knob, invisible in every observable.
+  bool graph_inline_sites_ = false;
 };
 
 }  // namespace v6mon::core

@@ -1,0 +1,109 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/thread_pool.h"
+#include "util/thread_annotations.h"
+
+namespace v6mon::core {
+
+/// Single-shot dependency-graph scheduler over a shared ThreadPool: the
+/// campaign's control-flow layer (DESIGN.md §15). Build the graph on one
+/// thread with `add`/`add_edge`, then `run()` executes every node body
+/// exactly once, never before all of its predecessors have completed.
+///
+/// Scheduling discipline:
+///  * Ready nodes dispatch lowest (key, NodeId) first — a deterministic
+///    tie-break, so *which* node is offered next is a pure function of
+///    the graph, not of timing. (With >1 pool thread the interleaving of
+///    concurrently running bodies is still up to the OS; bodies must be
+///    schedule-independent, which the campaign's per-(vp, round, site)
+///    RNG keying already guarantees.)
+///  * The calling thread participates: it executes ready nodes itself
+///    and only ever sleeps while some node is running on a pool worker.
+///    With a 1-thread pool no helpers are enqueued at all and the graph
+///    runs entirely on the caller, in exact (key, NodeId) order — the
+///    serial reference schedule.
+///  * Helpers submitted to the pool are keyed with the node's key, so
+///    pipeline-frontier nodes (low round) dispatch before later rounds,
+///    and parallel_index leaf work (key 0) overtakes queued nodes.
+///
+/// Memory ordering: a node body's effects are published to every
+/// successor through the scheduler mutex (completion bookkeeping is done
+/// under it, and the successor's body starts under it too) — a plain
+/// happens-before edge per dependency, visible to TSan.
+///
+/// Node bodies must not throw (ThreadPool's task contract) and may
+/// themselves use parallel_index on the same pool (see thread_pool.h on
+/// why that cannot deadlock).
+class Executor {
+ public:
+  using NodeId = std::uint32_t;
+  static constexpr NodeId kNoNode = ~NodeId{0};
+
+  explicit Executor(ThreadPool& pool);
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
+  ~Executor();
+
+  /// Add a node. Nodes are identified by insertion order (NodeId 0, 1,
+  /// ...); `key` is the dispatch priority band (lower runs first among
+  /// simultaneously-ready nodes). Graph building is single-threaded and
+  /// must finish before run().
+  NodeId add(std::uint64_t key, std::function<void()> body);
+
+  /// Declare that `before` must complete before `after` may start.
+  void add_edge(NodeId before, NodeId after);
+
+  /// Execute the whole graph; returns when every node has completed.
+  /// Single-shot: a second run() is a programmer error (V6MON_REQUIRE).
+  /// Cycles are a programmer error too, detected as a stall with ready
+  /// nodes exhausted while nodes remain (V6MON_ENSURE after the run).
+  void run();
+
+  // --- Introspection (graph shape; stable across schedules) -----------
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+  [[nodiscard]] std::size_t edge_count() const { return edges_; }
+  /// Nodes with no predecessors (ready at start).
+  [[nodiscard]] std::size_t root_count() const;
+  /// Nodes executed by pool helpers rather than the calling thread in
+  /// the last run (0 before run(); schedule-dependent — a diagnostic,
+  /// never an observable).
+  [[nodiscard]] std::size_t nodes_stolen() const { return stolen_; }
+
+ private:
+  struct Node {
+    std::function<void()> body;
+    std::uint64_t key = 0;
+    std::uint32_t unmet = 0;           ///< Outstanding predecessors.
+    std::vector<NodeId> successors;
+    std::uint64_t ready_ns = 0;        ///< Stamp for the wait histogram.
+  };
+
+  /// Scheduling state shared with pool helpers. Heap-allocated and
+  /// refcounted so a helper that finds nothing to do after run() has
+  /// returned still has a live mutex to lock; helpers that *do* pop a
+  /// node finish before run() returns (its completion is what run()
+  /// waits for), so their access to nodes_ through the Executor pointer
+  /// is safe.
+  struct Sched;
+
+  void execute_ready(const std::shared_ptr<Sched>& sched, NodeId id,
+                     bool stolen);
+
+  ThreadPool& pool_;
+  std::vector<Node> nodes_;
+  std::size_t edges_ = 0;
+  /// Snapshot of the pre-run root count: execution decrements the unmet
+  /// counters in place, so root_count() serves this after run().
+  std::size_t roots_ = 0;
+  std::size_t stolen_ = 0;
+  bool ran_ = false;
+};
+
+}  // namespace v6mon::core

@@ -1,5 +1,6 @@
 #include "core/thread_pool.h"
 
+#include <algorithm>
 #include <atomic>
 #include <memory>
 
@@ -7,6 +8,18 @@
 #include "util/error.h"
 
 namespace v6mon::core {
+
+namespace {
+
+/// Min-heap order over (key, seq): std::push_heap builds a max-heap
+/// under its comparator, so "greater" yields smallest-first popping.
+struct LaterDispatch {
+  bool operator()(const auto& a, const auto& b) const {
+    return a.key != b.key ? a.key > b.key : a.seq > b.seq;
+  }
+};
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) throw ConfigError("ThreadPool needs at least one thread");
@@ -36,12 +49,17 @@ void ThreadPool::shutdown() {
 }
 
 void ThreadPool::submit(std::function<void()> task) {
+  submit(0, std::move(task));
+}
+
+void ThreadPool::submit(std::uint64_t key, std::function<void()> task) {
   V6MON_ASSERT(task != nullptr, "ThreadPool::submit needs a callable task");
   {
     util::LockGuard lock(mu_);
     V6MON_REQUIRE(!stop_, "ThreadPool::submit after shutdown");
     if (stop_) throw Error("ThreadPool::submit after shutdown");
-    queue_.push_back(std::move(task));
+    queue_.push_back(QueuedTask{key, next_seq_++, std::move(task)});
+    std::push_heap(queue_.begin(), queue_.end(), LaterDispatch{});
   }
   cv_task_.notify_one();
 }
@@ -66,34 +84,50 @@ void parallel_index(ThreadPool& pool, std::size_t n,
   }
 
   // Completion is tracked per call (not via wait_idle) so overlapping
-  // parallel_index calls on a shared pool return independently.
+  // parallel_index calls on a shared pool return independently. The
+  // counter is per *index*, not per helper: the caller below waits until
+  // every claimed index has finished, so a helper that never leaves the
+  // pool queue (all workers busy) cannot be waited on — it finds
+  // `next >= n` whenever it eventually runs and exits without touching
+  // `fn`. That is what makes nesting on a shared pool deadlock-free.
   struct Sync {
     std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+    std::size_t total = 0;
+    /// Owned copy: late helpers may outlive the caller's `fn` reference.
+    std::function<void(std::size_t)> body;
     util::Mutex mu;
     std::condition_variable cv;
-    std::size_t workers_left V6MON_GUARDED_BY(mu) = 0;
+    bool complete V6MON_GUARDED_BY(mu) = false;
   };
   const auto sync = std::make_shared<Sync>();
-  const std::size_t workers = std::min(pool.thread_count(), n);
-  {
-    util::LockGuard lock(sync->mu);
-    sync->workers_left = workers;
-  }
-  for (std::size_t w = 0; w < workers; ++w) {
-    pool.submit([sync, n, &fn] {
-      for (std::size_t i = sync->next.fetch_add(1, std::memory_order_relaxed);
-           i < n; i = sync->next.fetch_add(1, std::memory_order_relaxed)) {
-        fn(i);
+  sync->total = n;
+  sync->body = fn;
+  const auto drain = [sync] {
+    for (std::size_t i = sync->next.fetch_add(1, std::memory_order_relaxed);
+         i < sync->total;
+         i = sync->next.fetch_add(1, std::memory_order_relaxed)) {
+      sync->body(i);
+      // acq_rel chain: the increment that reaches `total` has observed
+      // every earlier increment, hence every earlier fn(i)'s effects —
+      // the mutex below then publishes them to the waiting caller.
+      if (sync->done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+          sync->total) {
+        {
+          util::LockGuard lock(sync->mu);
+          sync->complete = true;
+        }
+        sync->cv.notify_all();
       }
-      {
-        util::LockGuard lock(sync->mu);
-        --sync->workers_left;
-      }
-      sync->cv.notify_all();
-    });
-  }
+    }
+  };
+  // The caller claims indices too, so at most thread_count - 1 helpers
+  // can ever do useful work alongside it.
+  const std::size_t helpers = std::min(pool.thread_count() - 1, n - 1);
+  for (std::size_t w = 0; w < helpers; ++w) pool.submit(drain);
+  drain();
   util::UniqueLock lock(sync->mu);
-  while (sync->workers_left != 0) lock.wait(sync->cv);
+  while (!sync->complete) lock.wait(sync->cv);
 }
 
 void ThreadPool::worker_loop() {
@@ -103,8 +137,9 @@ void ThreadPool::worker_loop() {
       util::UniqueLock lock(mu_);
       while (!(stop_ || !queue_.empty())) lock.wait(cv_task_);
       if (stop_ && queue_.empty()) return;
-      task = std::move(queue_.front());
-      queue_.pop_front();
+      std::pop_heap(queue_.begin(), queue_.end(), LaterDispatch{});
+      task = std::move(queue_.back().fn);
+      queue_.pop_back();
       ++active_;
       V6MON_ASSERT(active_ <= workers_.size(),
                    "more tasks in flight than worker threads");

@@ -39,6 +39,15 @@ std::optional<std::uint32_t> WorldTimeline::next_epoch_round() const {
   return epochs_[next_pending_].round;
 }
 
+std::vector<std::uint32_t> WorldTimeline::pending_epoch_rounds() const {
+  std::vector<std::uint32_t> rounds;
+  rounds.reserve(epochs_.size() - next_pending_);
+  for (std::size_t i = next_pending_; i < epochs_.size(); ++i) {
+    rounds.push_back(epochs_[i].round);
+  }
+  return rounds;
+}
+
 const bgp::RouteTable* WorldTimeline::v6_table(Asn dest) const {
   const auto it = v6_tables_.find(dest);
   return it == v6_tables_.end() ? nullptr : &it->second;

@@ -29,9 +29,17 @@ enum class EpochAdvanceMode : std::uint8_t { kIncremental, kFullRebuild };
 /// An empty timeline never touches the world: a campaign over it is
 /// byte-identical to one over the bare World.
 ///
-/// Not thread-safe: advances happen on the campaign coordinator at round
-/// boundaries, when no measurement worker is running (the same quiescence
-/// the sinks' flush relies on).
+/// Not internally synchronized: `advance_to` mutates the world and must
+/// run while no measurement is in flight. Under the legacy barriered
+/// loops that quiescence is the round boundary; under the campaign's
+/// Executor graph it is structural — every advance runs inside a gate
+/// node whose edges order it after all (vp, r < e) nodes and before all
+/// (vp, r >= e) nodes, so the advance still executes globally exclusive.
+/// The read-only accessors (`next_epoch_round`, `pending_epoch_rounds`,
+/// `world`, `current_epoch`) are safe to call from concurrently-running
+/// measurement nodes *between* advances: the gate edges (mutex-backed
+/// scheduler bookkeeping) publish each advance's writes to every
+/// successor node, so no reader ever overlaps a writer.
 class WorldTimeline {
  public:
   /// `epochs` must have strictly ascending, nonzero rounds (round 0 is
@@ -50,6 +58,10 @@ class WorldTimeline {
   [[nodiscard]] std::uint32_t current_epoch() const { return applied_; }
   /// Round of the next pending epoch, if any.
   [[nodiscard]] std::optional<std::uint32_t> next_epoch_round() const;
+  /// Rounds of every still-pending epoch, strictly ascending (the
+  /// constructor enforces the order). The campaign executor builds one
+  /// world-advance gate node per entry.
+  [[nodiscard]] std::vector<std::uint32_t> pending_epoch_rounds() const;
 
   void set_advance_mode(EpochAdvanceMode mode) { mode_ = mode; }
 

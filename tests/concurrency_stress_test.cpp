@@ -298,6 +298,55 @@ TEST(CampaignStress, OverlappingRoundsMatchSerialRun) {
   }
 }
 
+// The executor's W6D graph runs each vantage point's whole mini-round
+// sequence as one node, concurrent with nothing but *other* VPs' work.
+// This test drives the harder overlap by hand: one VP's W6D event (w6d
+// store epoch_mu -> regular store epoch_mu, in that order) racing
+// another VP's regular rounds on the same shared Campaign and pool.
+// Under TSan any lock-order inversion or unguarded resolved-site-table
+// growth is a hard failure; on plain builds the byte compare pins that
+// mini-round ingest ordering and every observable are schedule-free.
+TEST(CampaignStress, W6dOverlappingOtherVpRoundsMatchesSerialRun) {
+  scenario::WorldSpec spec = stress_spec();
+  spec.w6d_round = 3;
+  const World w = scenario::build_world(spec);
+
+  CampaignConfig ref_cfg;
+  ref_cfg.seed = 21;
+  ref_cfg.threads = 1;
+  ref_cfg.use_executor = false;  // strictly serial legacy reference
+  Campaign serial(w, ref_cfg);
+  serial.run();
+  serial.run_w6d();
+  serial.finalize();
+
+  CampaignConfig cfg = ref_cfg;
+  cfg.threads = 2;
+  cfg.use_executor = true;
+  Campaign overlapped(w, cfg);
+  // VP 0's regular rounds complete up front; then VP 0's (and VP 1's)
+  // W6D event runs while VP 1's regular rounds are still in flight on
+  // an outer thread.
+  for (std::uint32_t round = 0; round <= w.num_rounds; ++round) {
+    overlapped.run_round(0, round);
+  }
+  std::thread regular([&] {
+    for (std::uint32_t round = 0; round <= w.num_rounds; ++round) {
+      overlapped.run_round(1, round);
+    }
+  });
+  overlapped.run_w6d();
+  regular.join();
+  overlapped.finalize();
+
+  for (std::size_t vp = 0; vp < w.vantage_points.size(); ++vp) {
+    SCOPED_TRACE(w.vantage_points[vp].name);
+    EXPECT_EQ(overlapped.results(vp).to_csv(), serial.results(vp).to_csv());
+    EXPECT_EQ(overlapped.w6d_results(vp).to_csv(),
+              serial.w6d_results(vp).to_csv());
+  }
+}
+
 // Many threads hammering one PathCache with overlapping key sets: every
 // hit must return the exact value the first writer computed (first-writer-
 // wins semantics), and the entry count must equal the number of distinct

@@ -149,12 +149,14 @@ TEST(Determinism, ThreadCountInvisibleUnderFailureInjection) {
 std::unique_ptr<Campaign> run_with(SinkBackend sink, unsigned threads,
                                    std::uint64_t seed, const std::string& spool_dir,
                                    double dns_timeout_prob = 0.0,
-                                   double dl_failure_prob = 0.0) {
+                                   double dl_failure_prob = 0.0,
+                                   bool use_executor = true) {
   CampaignConfig cfg;
   cfg.seed = seed;
   cfg.threads = threads;
   cfg.sink = sink;
   cfg.spool_dir = spool_dir;
+  cfg.use_executor = use_executor;
   if (sink == SinkBackend::kSpool) std::filesystem::create_directories(spool_dir);
   cfg.monitor.dns.timeout_prob = dns_timeout_prob;
   cfg.monitor.download.failure_prob = dl_failure_prob;
@@ -198,6 +200,54 @@ INSTANTIATE_TEST_SUITE_P(AllBackends, SinkBackendMatrix,
                            }
                            return "Unknown";
                          });
+
+// --- Executor scheduling matrix --------------------------------------------
+//
+// The task-graph executor (ISSUE 10) is a scheduling layer, not a
+// semantic one: campaign.executor {on, off} must be as invisible as the
+// thread count. The reference cell is executor-off, threads=1, mutex
+// sink — the original strictly-serial loop — and every executor-on cell
+// across threads and sink backends must reproduce it byte for byte.
+// This is what licenses `use_executor = true` as the default.
+TEST(Determinism, ExecutorSchedulingInvisible) {
+  const std::string dir = ::testing::TempDir();
+  const auto reference = run_with(SinkBackend::kMutex, 1, 2011, dir + "/xref",
+                                  0.0, 0.0, /*use_executor=*/false);
+  const struct {
+    SinkBackend sink;
+    unsigned threads;
+    bool executor;
+    const char* tag;
+  } cells[] = {
+      {SinkBackend::kMutex, 1, true, "mutex-t1-exec"},
+      {SinkBackend::kMutex, 8, true, "mutex-t8-exec"},
+      {SinkBackend::kMutex, 8, false, "mutex-t8-barrier"},
+      {SinkBackend::kSharded, 8, true, "sharded-t8-exec"},
+      {SinkBackend::kSharded, 8, false, "sharded-t8-barrier"},
+      {SinkBackend::kSpool, 8, true, "spool-t8-exec"},
+      {SinkBackend::kSpool, 8, false, "spool-t8-barrier"},
+  };
+  for (const auto& cell : cells) {
+    SCOPED_TRACE(cell.tag);
+    const auto run = run_with(cell.sink, cell.threads, 2011,
+                              dir + "/x-" + cell.tag, 0.0, 0.0, cell.executor);
+    expect_identical_observables(*reference, *run);
+    EXPECT_EQ(table4_csv(*reference), table4_csv(*run));
+  }
+}
+
+// Same matrix corner under failure injection: the RNG-hungriest paths,
+// now also crossing the executor's pipelined round boundaries (VP-a may
+// be rounds ahead of VP-b when both draw from their streams).
+TEST(Determinism, ExecutorSchedulingInvisibleUnderFailureInjection) {
+  const std::string dir = ::testing::TempDir();
+  const auto reference = run_with(SinkBackend::kMutex, 1, 404, dir + "/xfref",
+                                  0.2, 0.05, /*use_executor=*/false);
+  const auto executor = run_with(SinkBackend::kSharded, 8, 404, dir + "/xf8",
+                                 0.2, 0.05, /*use_executor=*/true);
+  expect_identical_observables(*reference, *executor);
+  EXPECT_EQ(table4_csv(*reference), table4_csv(*executor));
+}
 
 // The RIBs a campaign reads must themselves be schedule-free: building the
 // same world with a serial and a wide pool must give identical tables.

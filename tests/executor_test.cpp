@@ -1,0 +1,242 @@
+// core::Executor and the keyed ThreadPool underneath it: dependency
+// edges must be honored on every schedule, ready-queue tie-breaking must
+// be deterministic, and parallel_index must stay deadlock-free when
+// nodes running *on* pool workers nest it on the same pool — the exact
+// shape the campaign graph produces (run_sites inside a (vp, round)
+// node).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/executor.h"
+#include "core/thread_pool.h"
+#include "util/contracts.h"
+#include "util/error.h"
+
+namespace v6mon::core {
+namespace {
+
+// --- ThreadPool keyed dispatch ---------------------------------------------
+
+TEST(ThreadPoolKeyed, LowestKeyDispatchesFirst) {
+  // One worker, tasks pre-queued behind a blocker: dispatch order is
+  // fully observable and must be (key, submission seq) ascending.
+  ThreadPool pool(1);
+  std::atomic<bool> open{false};
+  pool.submit([&] {  // holds the only worker until all tasks are queued
+    while (!open.load(std::memory_order_acquire)) std::this_thread::yield();
+  });
+  std::vector<int> order;
+  std::mutex order_mu;
+  const auto record = [&](int tag) {
+    const std::lock_guard<std::mutex> lock(order_mu);
+    order.push_back(tag);
+  };
+  pool.submit(30, [&, tag = 1] { record(tag); });
+  pool.submit(10, [&, tag = 2] { record(tag); });
+  pool.submit(20, [&, tag = 3] { record(tag); });
+  pool.submit(10, [&, tag = 4] { record(tag); });  // same key: after tag 2
+  pool.submit([&, tag = 5] { record(tag); });      // key 0: first of all
+  open.store(true, std::memory_order_release);
+  pool.wait_idle();
+  EXPECT_EQ(order, (std::vector<int>{5, 2, 4, 3, 1}));
+}
+
+// --- parallel_index: caller participation and nesting ----------------------
+
+TEST(ParallelIndex, EveryIndexRunsExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr std::size_t kN = 10'000;
+  std::vector<std::atomic<int>> hits(kN);
+  parallel_index(pool, kN, [&](std::size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(hits[i].load(std::memory_order_relaxed), 1) << "index " << i;
+  }
+}
+
+// The deadlock regression this PR's parallel_index rewrite exists for:
+// fill every pool worker with tasks that each nest a parallel_index on
+// the same pool. Under the old fixed-helper design all workers block
+// waiting for helpers that can never start; with caller participation
+// each nested call drains its own indices inline.
+TEST(ParallelIndex, NestedOnSaturatedPoolCompletes) {
+  ThreadPool pool(4);
+  std::atomic<std::size_t> total{0};
+  constexpr std::size_t kOuter = 16;  // 4x oversubscribed
+  constexpr std::size_t kInner = 64;
+  parallel_index(pool, kOuter, [&](std::size_t) {
+    parallel_index(pool, kInner, [&](std::size_t) {
+      total.fetch_add(1, std::memory_order_relaxed);
+    });
+  });
+  EXPECT_EQ(total.load(), kOuter * kInner);
+}
+
+// --- Executor: ordering and dependency semantics ---------------------------
+
+TEST(Executor, SerialReferenceRunsInKeyOrder) {
+  // 1-thread pool: no helpers are enqueued, the caller executes every
+  // node itself — so execution order must be exactly (key, id) among
+  // whatever is ready.
+  ThreadPool pool(1);
+  Executor exec(pool);
+  std::vector<int> order;
+  const auto a = exec.add(5, [&] { order.push_back(0); });
+  const auto b = exec.add(1, [&] { order.push_back(1); });
+  const auto c = exec.add(3, [&] { order.push_back(2); });
+  exec.add_edge(b, a);  // a waits on b despite b's lower key
+  (void)c;
+  exec.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 0}));
+  EXPECT_EQ(exec.node_count(), 3u);
+  EXPECT_EQ(exec.edge_count(), 1u);
+  EXPECT_EQ(exec.root_count(), 2u);
+  EXPECT_EQ(exec.nodes_stolen(), 0u);  // caller ran everything
+}
+
+TEST(Executor, EqualKeysTieBreakByInsertionOrder) {
+  ThreadPool pool(1);
+  Executor exec(pool);
+  std::vector<int> order;
+  for (int i = 0; i < 6; ++i) {
+    exec.add(7, [&order, i] { order.push_back(i); });
+  }
+  exec.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5}));
+}
+
+TEST(Executor, EdgesAreHonoredOnEverySchedule) {
+  // Random-ish diamond lattice, wide pool, many repetitions: every
+  // successor must observe all of its predecessors' writes (the
+  // scheduler mutex is the publication edge — TSan covers the memory
+  // order side in the sanitizer CI runs).
+  for (int rep = 0; rep < 20; ++rep) {
+    ThreadPool pool(8);
+    Executor exec(pool);
+    constexpr std::size_t kLayers = 6;
+    constexpr std::size_t kWidth = 5;
+    std::vector<std::vector<Executor::NodeId>> layer(kLayers);
+    std::vector<std::atomic<int>> done(kLayers * kWidth);
+    std::atomic<bool> violated{false};
+    for (std::size_t l = 0; l < kLayers; ++l) {
+      for (std::size_t w = 0; w < kWidth; ++w) {
+        const std::size_t slot = l * kWidth + w;
+        layer[l].push_back(exec.add(l, [&, l, slot] {
+          if (l > 0) {
+            // All predecessors (the whole previous layer) must be done.
+            for (std::size_t p = (l - 1) * kWidth; p < l * kWidth; ++p) {
+              if (done[p].load(std::memory_order_relaxed) == 0) {
+                violated.store(true, std::memory_order_relaxed);
+              }
+            }
+          }
+          done[slot].store(1, std::memory_order_relaxed);
+        }));
+        if (l > 0) {
+          for (const Executor::NodeId prev : layer[l - 1]) {
+            exec.add_edge(prev, layer[l].back());
+          }
+        }
+      }
+    }
+    exec.run();
+    EXPECT_FALSE(violated.load());
+    for (auto& d : done) EXPECT_EQ(d.load(), 1);
+  }
+}
+
+TEST(Executor, NodesMayNestParallelIndexOnTheSharedPool) {
+  // The campaign shape: more concurrently-runnable nodes than workers,
+  // each fanning leaf work out on the same pool. Must complete (no
+  // deadlock) and run every leaf exactly once.
+  ThreadPool pool(4);
+  Executor exec(pool);
+  constexpr std::size_t kNodes = 12;
+  constexpr std::size_t kLeaves = 40;
+  std::vector<std::atomic<int>> leaves(kNodes * kLeaves);
+  for (std::size_t node = 0; node < kNodes; ++node) {
+    exec.add(node, [&, node] {
+      parallel_index(pool, kLeaves, [&, node](std::size_t i) {
+        leaves[node * kLeaves + i].fetch_add(1, std::memory_order_relaxed);
+      });
+    });
+  }
+  exec.run();
+  for (auto& leaf : leaves) EXPECT_EQ(leaf.load(), 1);
+}
+
+TEST(Executor, ChainPipelinesAreIndependent) {
+  // Two chains (two "VPs"): no cross edges, so an artificial stall in
+  // chain 0 must not stop chain 1 from finishing — the pipelining the
+  // campaign graph buys. Verified by counting completions of chain 1
+  // while chain 0 is held at its first node.
+  ThreadPool pool(2);
+  Executor exec(pool);
+  std::atomic<int> chain1_done{0};
+  std::atomic<bool> release{false};
+  constexpr std::uint64_t kChain0 = 1;
+  constexpr std::uint64_t kChain1 = 2;
+  Executor::NodeId prev0 = exec.add(kChain0, [&] {
+    // Busy-wait until chain 1 completed entirely: if chains shared a
+    // per-round barrier this would deadlock; with independent chains
+    // the pool's second thread drains chain 1 meanwhile.
+    while (!release.load(std::memory_order_acquire)) std::this_thread::yield();
+  });
+  constexpr int kRounds = 4;
+  for (int r = 1; r < kRounds; ++r) {
+    const Executor::NodeId node = exec.add(kChain0, [] {});
+    exec.add_edge(prev0, node);
+    prev0 = node;
+  }
+  Executor::NodeId prev1 = exec.add(kChain1, [&] {
+    chain1_done.fetch_add(1, std::memory_order_relaxed);
+  });
+  for (int r = 1; r < kRounds; ++r) {
+    const Executor::NodeId node = exec.add(kChain1, [&] {
+      const int done = chain1_done.fetch_add(1, std::memory_order_relaxed) + 1;
+      if (done == kRounds) release.store(true, std::memory_order_release);
+    });
+    exec.add_edge(prev1, node);
+    prev1 = node;
+  }
+  exec.run();
+  EXPECT_EQ(chain1_done.load(), kRounds);
+}
+
+#if V6MON_CONTRACT_LEVEL >= 1
+
+TEST(Executor, RunIsSingleShot) {
+  ThreadPool pool(1);
+  Executor exec(pool);
+  exec.add(0, [] {});
+  exec.run();
+  EXPECT_THROW(exec.run(), ContractError);
+  EXPECT_THROW(exec.add(0, [] {}), ContractError);
+}
+
+TEST(Executor, RejectsOutOfRangeAndSelfEdges) {
+  ThreadPool pool(1);
+  Executor exec(pool);
+  const auto a = exec.add(0, [] {});
+  EXPECT_THROW(exec.add_edge(a, a), ContractError);
+  EXPECT_THROW(exec.add_edge(a, a + 1), ContractError);
+}
+
+#endif  // V6MON_CONTRACT_LEVEL >= 1
+
+TEST(Executor, EmptyGraphRunsToCompletion) {
+  ThreadPool pool(2);
+  Executor exec(pool);
+  exec.run();
+  EXPECT_EQ(exec.node_count(), 0u);
+}
+
+}  // namespace
+}  // namespace v6mon::core

@@ -41,6 +41,34 @@ TEST(Rng, ChildStreamsAreIndependentAndStable) {
   EXPECT_EQ(seeds.size(), 64u);
 }
 
+// The campaign's per-(vp, round) order-shuffle streams are derived by
+// chaining: child("order", vp).child("round", round). The retired
+// single-index packing ((vp << 20) | round) collided the moment a round
+// number reached 2^20 or a packed value coincided across (vp, round)
+// pairs; chaining keys each coordinate independently, so no two pairs —
+// even with deliberately aliasing values like (1, 0) vs (0, 1 << 20) —
+// may share a stream. campaign.cpp relies on this test for that claim.
+TEST(Rng, ChainedChildKeysHaveNoCrossPairCollisions) {
+  Rng root(2011);
+  std::map<std::uint64_t, std::pair<std::uint64_t, std::uint64_t>> seen;
+  const auto probe = [&](std::uint64_t vp, std::uint64_t round) {
+    const std::uint64_t seed = root.child("order", vp).child("round", round).seed();
+    const auto [it, inserted] = seen.emplace(seed, std::make_pair(vp, round));
+    EXPECT_TRUE(inserted) << "(" << vp << "," << round << ") collides with ("
+                          << it->second.first << "," << it->second.second << ")";
+  };
+  // Dense small grid plus the exact aliasing pairs of the old packing:
+  // (vp, round) and (vp - 1, round + 2^20) packed to the same value.
+  for (std::uint64_t vp = 0; vp < 16; ++vp) {
+    for (std::uint64_t round = 0; round < 64; ++round) probe(vp, round);
+  }
+  for (std::uint64_t vp = 1; vp < 8; ++vp) {
+    for (std::uint64_t round = 0; round < 8; ++round) {
+      probe(vp - 1, round + (vp << 20));
+    }
+  }
+}
+
 TEST(Rng, ChildDoesNotPerturbParent) {
   Rng a(5), b(5);
   (void)a.child("x");

@@ -136,10 +136,15 @@ TEST(WorldTimeline, EmptyTimelineCampaignIsByteIdenticalToFrozenWorld) {
 
 TEST(WorldTimeline, EvolvingCampaignThreadAndSinkInvisible) {
   const scenario::WorldSpec spec = evolving_spec();
+  // Reference: executor off — the legacy round-major loop whose barrier
+  // at every round boundary is the historical quiescence guarantee for
+  // advance_to. Every executor-on cell (gate-node quiescence instead)
+  // must reproduce it byte for byte, across threads and sinks.
   CampaignConfig ref_cfg;
   ref_cfg.seed = 2011;
   ref_cfg.threads = 1;
   ref_cfg.sink = SinkBackend::kMutex;
+  ref_cfg.use_executor = false;
   const auto reference = run_evolving(spec, ref_cfg);
   ASSERT_GT(reference.timeline->num_epochs(), 0u)
       << "evolving_spec produced no epochs; the matrix tests nothing";
@@ -147,20 +152,27 @@ TEST(WorldTimeline, EvolvingCampaignThreadAndSinkInvisible) {
 
   const std::string dir = ::testing::TempDir();
   int cell = 0;
-  for (const unsigned threads : {1u, 8u}) {
-    for (const SinkBackend sink :
-         {SinkBackend::kMutex, SinkBackend::kSharded, SinkBackend::kSpool}) {
-      SCOPED_TRACE("threads=" + std::to_string(threads) +
-                   " sink=" + std::to_string(static_cast<int>(sink)));
-      CampaignConfig cfg = ref_cfg;
-      cfg.threads = threads;
-      cfg.sink = sink;
-      cfg.spool_dir = dir + "/evo" + std::to_string(cell++);
-      if (sink == SinkBackend::kSpool) {
-        std::filesystem::create_directories(cfg.spool_dir);
+  for (const bool use_exec : {true, false}) {
+    for (const unsigned threads : {1u, 8u}) {
+      for (const SinkBackend sink :
+           {SinkBackend::kMutex, SinkBackend::kSharded, SinkBackend::kSpool}) {
+        if (!use_exec && threads == 1 && sink == SinkBackend::kMutex) {
+          continue;  // the reference cell itself
+        }
+        SCOPED_TRACE("executor=" + std::to_string(use_exec) +
+                     " threads=" + std::to_string(threads) +
+                     " sink=" + std::to_string(static_cast<int>(sink)));
+        CampaignConfig cfg = ref_cfg;
+        cfg.threads = threads;
+        cfg.sink = sink;
+        cfg.use_executor = use_exec;
+        cfg.spool_dir = dir + "/evo" + std::to_string(cell++);
+        if (sink == SinkBackend::kSpool) {
+          std::filesystem::create_directories(cfg.spool_dir);
+        }
+        const auto run = run_evolving(spec, cfg);
+        expect_identical_observables(*reference.campaign, *run.campaign);
       }
-      const auto run = run_evolving(spec, cfg);
-      expect_identical_observables(*reference.campaign, *run.campaign);
     }
   }
 }

@@ -30,6 +30,13 @@ linter encodes the project's determinism rules as source checks:
         routes); keep a world-epoch stamp within reach of the cache (the
         rule scans the surrounding 20 lines) or ALLOW with the lifetime
         argument
+  D007  bare pool barrier (wait_idle / cv wait / thread join) in
+        campaign control flow (src/core/campaign.*) — since ISSUE 10
+        round ordering is expressed as Executor dependency edges, and an
+        inline barrier reintroduces the fork-join stalls the task graph
+        removed (and silently re-orders nothing the graph doesn't
+        already order); add an edge, or ALLOW with the reason the join
+        is not a scheduling barrier
 
 Engine: a text-level lexer (comments/strings stripped, lines tracked).
 There is deliberately no semantic analysis — the rules are conservative
@@ -56,7 +63,7 @@ import re
 import sys
 from dataclasses import dataclass, field
 
-ALL_RULES = ("D001", "D002", "D003", "D004", "D005", "D006")
+ALL_RULES = ("D001", "D002", "D003", "D004", "D005", "D006", "D007")
 
 # Directories (relative to the repo root) whose code feeds deterministic
 # outputs. D002 applies only here; the other rules apply everywhere.
@@ -537,6 +544,31 @@ def rule_d006(sf: SourceFile) -> list[Finding]:
     return findings
 
 
+# Files (relative to the repo root) holding campaign control flow. D007
+# applies only here: the Executor's own implementation, the thread pool
+# and the sinks legitimately wait — the campaign layer must not.
+CAMPAIGN_FILES = ("src/core/campaign.cpp", "src/core/campaign.h")
+
+D007_BARRIER_RE = re.compile(r"(?:\.|->)\s*(wait_idle|wait|join)\s*\(")
+
+
+def rule_d007(sf: SourceFile) -> list[Finding]:
+    findings = []
+    for m in D007_BARRIER_RE.finditer(sf.clean):
+        findings.append(
+            Finding(
+                sf.path,
+                sf.line_of(m.start()),
+                "D007",
+                f"bare '{m.group(1)}' barrier in campaign control flow — "
+                "round and epoch ordering is the Executor's dependency "
+                "graph; express the wait as a graph edge (or ALLOW with "
+                "the reason this join is not a scheduling barrier)",
+            )
+        )
+    return findings
+
+
 RULES = {
     "D001": rule_d001,
     "D002": rule_d002,
@@ -544,6 +576,7 @@ RULES = {
     "D004": rule_d004,
     "D005": rule_d005,
     "D006": rule_d006,
+    "D007": rule_d007,
 }
 
 
@@ -605,12 +638,18 @@ def in_deterministic_dir(path: str, root: str) -> bool:
     return any(rel == d or rel.startswith(d + "/") for d in DETERMINISTIC_DIRS)
 
 
+def in_campaign_files(path: str, root: str) -> bool:
+    rel = os.path.relpath(os.path.abspath(path), root).replace(os.sep, "/")
+    return rel in CAMPAIGN_FILES
+
+
 def lint_file(
     path: str,
     rules: list[str],
     root: str,
     engine: str,
     deterministic_scope: bool | None = None,
+    campaign_scope: bool | None = None,
 ) -> list[Finding]:
     with open(path, encoding="utf-8", errors="replace") as fh:
         text = fh.read()
@@ -619,8 +658,12 @@ def lint_file(
     findings = list(errors)
     if deterministic_scope is None:
         deterministic_scope = in_deterministic_dir(path, root)
+    if campaign_scope is None:
+        campaign_scope = in_campaign_files(path, root)
     for rule in rules:
         if rule == "D002" and not deterministic_scope:
+            continue
+        if rule == "D007" and not campaign_scope:
             continue
         findings.extend(apply_allows(RULES[rule](sf), allows))
     findings.sort(key=lambda f: (f.line, f.rule))
@@ -659,11 +702,12 @@ def selftest(fixtures_dir: str, engine: str) -> int:
             for m in re.finditer(r"EXPECT-LINT:\s*(D\d{3})", line):
                 expected.add((line_no, m.group(1)))
         # Fixtures exercise every rule, so they are linted as if they
-        # lived inside the deterministic scope (D002 included).
+        # lived inside the deterministic scope (D002 included) and the
+        # campaign files (D007 included).
         got = {
             (f.line, f.rule)
             for f in lint_file(path, list(ALL_RULES), os.path.dirname(os.path.abspath(fixtures_dir)), engine,
-                               deterministic_scope=True)
+                               deterministic_scope=True, campaign_scope=True)
         }
         missing = expected - got
         surplus = got - expected
